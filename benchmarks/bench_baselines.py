@@ -1,0 +1,127 @@
+"""§1/§2.2.2 design arguments — the integrated GTM forwarding vs the
+alternatives the paper rejects:
+
+* application-level store-and-forward on the gateway (Nexus-style): extra
+  copies + no pipelining;
+* PACX-style coupling: all inter-cluster traffic over a TCP relay pair.
+
+Reported as bandwidth over message size for the SCI->Myrinet testbed path.
+"""
+
+import numpy as np
+
+from repro.baselines import AppLevelForwarder, app_recv, app_send, \
+    build_pacx_coupling
+from repro.bench import Series, format_series_table
+from repro.hw import build_world
+from repro.madeleine import Session
+from repro.routing import RouteTable
+
+from common import emit, once
+
+SIZES = [(1 << k) << 10 for k in range(4, 13)]   # 16 KB .. 4 MB
+PACKET = 64 << 10
+
+
+def gtm_time(size):
+    w = build_world({"m0": ["myrinet"], "gw": ["myrinet", "sci"],
+                     "s0": ["sci"]})
+    s = Session(w)
+    vch = s.virtual_channel([
+        s.channel("myrinet", ["m0", "gw"]),
+        s.channel("sci", ["gw", "s0"]),
+    ], packet_size=PACKET)
+    out = {}
+    data = np.zeros(size, dtype=np.uint8)
+
+    def snd():
+        m = vch.endpoint(2).begin_packing(0)
+        yield m.pack(data)
+        yield m.end_packing()
+
+    def rcv():
+        inc = yield vch.endpoint(0).begin_unpacking()
+        _ev, _b = inc.unpack(size)
+        yield inc.end_unpacking()
+        out["t"] = s.now
+
+    s.spawn(snd()); s.spawn(rcv()); s.run()
+    return out["t"]
+
+
+def app_forward_time(size):
+    w = build_world({"m0": ["myrinet"], "gw": ["myrinet", "sci"],
+                     "s0": ["sci"]})
+    s = Session(w)
+    myri = s.channel("myrinet", ["m0", "gw"])
+    sci = s.channel("sci", ["gw", "s0"])
+    AppLevelForwarder([myri, sci], gw_rank=1)
+    rt = RouteTable([myri, sci])
+    out = {}
+    data = np.zeros(size, dtype=np.uint8)
+
+    def snd():
+        yield app_send(rt, 2, 0, data)
+
+    def rcv():
+        yield from app_recv(myri, 0)
+        out["t"] = s.now
+
+    s.spawn(snd()); s.spawn(rcv()); s.run(until=1e9)
+    return out["t"]
+
+
+def pacx_time(size):
+    w = build_world({
+        "m0": ["myrinet"], "md": ["myrinet", "gigabit_tcp"],
+        "sd": ["sci", "gigabit_tcp"], "s0": ["sci"],
+    })
+    s = Session(w)
+    pacx = build_pacx_coupling(s, ["m0", "md"], "myrinet",
+                               ["s0", "sd"], "sci")
+    out = {}
+    data = np.zeros(size, dtype=np.uint8)
+
+    def snd():
+        yield app_send(pacx.routes, s.rank("s0"), s.rank("m0"), data)
+
+    def rcv():
+        yield from app_recv(pacx.intra_a, s.rank("m0"))
+        out["t"] = s.now
+
+    s.spawn(snd()); s.spawn(rcv()); s.run(until=1e9)
+    return out["t"]
+
+
+def sweep():
+    mechanisms = [("Madeleine GTM", gtm_time),
+                  ("app-level forward", app_forward_time),
+                  ("PACX-style TCP", pacx_time)]
+    curves = []
+    for label, fn in mechanisms:
+        series = Series(label=label)
+        for size in SIZES:
+            series.add(size, size / fn(size))
+        curves.append(series)
+    return curves
+
+
+def bench_baselines(benchmark):
+    curves = once(benchmark, sweep)
+    gtm, app, pacx = curves
+    text = format_series_table(
+        curves, title="Forwarding mechanisms compared (SCI -> Myrinet path)")
+    text += (f"\n\nasymptotes: GTM {gtm.asymptote:.1f} MB/s, "
+             f"app-level {app.asymptote:.1f} MB/s, "
+             f"PACX/TCP {pacx.asymptote:.1f} MB/s")
+    emit("baselines", text)
+    benchmark.extra_info["asymptotes"] = {
+        c.label: round(c.asymptote, 1) for c in curves}
+
+    # Shape assertions (who wins, by roughly what factor):
+    # 1. integrated forwarding beats app-level store-and-forward clearly
+    assert gtm.asymptote > app.asymptote * 1.3
+    # 2. and crushes the TCP glue
+    assert gtm.asymptote > pacx.asymptote * 1.8
+    # 3. app-level still beats TCP (it at least uses the fast links)
+    assert app.asymptote > pacx.asymptote

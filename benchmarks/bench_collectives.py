@@ -1,0 +1,112 @@
+"""Extension bench — collectives on a cluster of clusters.
+
+The Madeleine line fed into MPICH/Madeleine-III; this bench measures what
+the forwarding layer means for MPI collectives: allreduce (binomial tree vs
+bandwidth-optimal ring) over six ranks, once inside a single Myrinet
+cluster and once split 3+3 across the gateway.  The interesting output is
+the *gateway penalty* of each algorithm: the ring pushes 2(n-1)/n of the
+payload across every link including the inter-cluster one, while the tree
+crosses the gateway fewer times with bigger messages.
+"""
+
+import numpy as np
+
+from repro.hw import ClusterSpec, GatewayLink, build_cluster_of_clusters, \
+    build_world
+from repro.madeleine import Session
+from repro.minimpi import Communicator, allreduce, ring_allreduce
+
+from common import emit, once
+
+VECTOR = 1 << 18        # 256 K doubles = 2 MB
+N_RANKS = 6
+
+
+def split_world():
+    world, members, gws = build_cluster_of_clusters(
+        clusters=[ClusterSpec("m", "myrinet", 4), ClusterSpec("s", "sci", 3)],
+        gateways=[GatewayLink("m", "s")],
+    )
+    s = Session(world)
+    vch = s.virtual_channel([
+        s.channel("myrinet", members["m"]),
+        s.channel("sci", members["s"] + gws),
+    ], packet_size=64 << 10)
+    workers = [s.rank(n) for n in members["m"][:3] + members["s"]]
+    return s, vch, workers
+
+
+def flat_world():
+    names = {f"n{i}": ["myrinet"] for i in range(N_RANKS)}
+    world = build_world(names)
+    s = Session(world)
+    vch = s.virtual_channel([s.channel("myrinet", list(names))],
+                            packet_size=64 << 10)
+    return s, vch, list(range(N_RANKS))
+
+
+def run_allreduce(make_world, algo):
+    s, vch, workers = make_world()
+
+    class WorkerComm(Communicator):
+        @property
+        def ranks(self):
+            return workers
+
+        @property
+        def size(self):
+            return len(workers)
+
+    finish = {}
+
+    def worker(i):
+        comm = WorkerComm(vch, workers[i])
+        arr = np.full(VECTOR // N_RANKS, float(i), dtype=np.float64)
+
+        def proc():
+            if algo == "tree":
+                out = yield from allreduce(comm, arr, op=np.add)
+            else:
+                out = yield from ring_allreduce(comm, arr, op=np.add)
+            assert np.allclose(out, sum(range(len(workers))))
+            finish[i] = s.now
+        return proc
+
+    for i in range(len(workers)):
+        s.spawn(worker(i)(), name=f"r{i}")
+    s.run()
+    return max(finish.values())
+
+
+def bench_collectives(benchmark):
+    results = once(benchmark, lambda: {
+        (topo, algo): run_allreduce(make, algo)
+        for topo, make in (("single cluster", flat_world),
+                           ("cluster of clusters", split_world))
+        for algo in ("tree", "ring")})
+
+    nbytes = (VECTOR // N_RANKS) * 8
+    lines = [f"Allreduce of {nbytes >> 10} KB/rank over {N_RANKS} ranks "
+             f"(completion time, µs)",
+             f"{'topology':>22s}{'tree':>12s}{'ring':>12s}{'ring/tree':>11s}"]
+    lines.append("-" * len(lines[-1]))
+    for topo in ("single cluster", "cluster of clusters"):
+        t_tree = results[(topo, "tree")]
+        t_ring = results[(topo, "ring")]
+        lines.append(f"{topo:>22s}{t_tree:12.0f}{t_ring:12.0f}"
+                     f"{t_ring / t_tree:11.2f}")
+    gw_pen_tree = (results[("cluster of clusters", "tree")]
+                   / results[("single cluster", "tree")])
+    gw_pen_ring = (results[("cluster of clusters", "ring")]
+                   / results[("single cluster", "ring")])
+    lines.append(f"\ngateway penalty: tree {gw_pen_tree:.2f}x, "
+                 f"ring {gw_pen_ring:.2f}x")
+    emit("collectives", "\n".join(lines))
+    benchmark.extra_info["gateway_penalty"] = {
+        "tree": round(gw_pen_tree, 2), "ring": round(gw_pen_ring, 2)}
+
+    # Shape assertions:
+    for topo in ("single cluster", "cluster of clusters"):
+        assert results[(topo, "tree")] > 0 and results[(topo, "ring")] > 0
+    # crossing the gateway costs something for both algorithms
+    assert gw_pen_tree > 1.0 and gw_pen_ring > 1.0

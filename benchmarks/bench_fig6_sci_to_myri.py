@@ -1,0 +1,47 @@
+"""Figure 6 — forwarding bandwidth, SCI -> Myrinet.
+
+Reproduces the sweep: messages from an SCI-cluster node to a Myrinet-cluster
+node through the gateway, for paquet sizes 8/16/32/64/128 KB, message sizes
+up to 16 MB.  Paper shape: bandwidth grows with paquet size, from ≈ 28 MB/s
+asymptotic at 8 KB paquets up to close to 60 MB/s at 128 KB — approaching
+but never exceeding the ≈ 66 MB/s practical one-way PCI limit.
+"""
+
+from repro.analysis import plot_series
+from repro.bench import (PAPER_PACKET_SIZES, figure_sweep, format_comparison,
+                         format_series_table, PaperPoint)
+
+from common import PAPER, emit, once
+
+
+def bench_fig6_sci_to_myrinet(benchmark):
+    curves = once(benchmark, lambda: figure_sweep("b0->a0"))
+
+    table = format_series_table(
+        curves, title="Figure 6: multiprotocol forwarding bandwidth, "
+                      "SCI -> Myrinet")
+    plot = plot_series(curves, title="Figure 6 (reproduction)")
+    comparison = format_comparison(
+        [PaperPoint(f"asymptote, paquet {p >> 10} KB",
+                    PAPER["fig6_asymptote"][p],
+                    c.asymptote, note="reconstructed from Fig. 6")
+         for p, c in zip(PAPER_PACKET_SIZES, curves)],
+        title="paper vs measured")
+    emit("fig6_sci_to_myrinet", f"{table}\n\n{plot}\n\n{comparison}")
+
+    benchmark.extra_info["asymptotes"] = {
+        c.label: round(c.asymptote, 1) for c in curves}
+
+    # Shape assertions (the reproduction contract):
+    asym = [c.asymptote for c in curves]
+    # 1. larger paquets help, monotonically
+    assert asym == sorted(asym), "asymptote must grow with paquet size"
+    # 2. the 128 KB curve gets close to, but below, the PCI ceiling
+    assert 50.0 < asym[-1] < PAPER["pci_oneway_ceiling"]
+    # 3. 8 KB paquets lose roughly half the bandwidth
+    assert asym[0] < 0.65 * asym[-1]
+    # 4. every curve is (weakly) increasing in message size
+    for c in curves:
+        pairs = sorted(zip(c.sizes, c.bandwidths))
+        bws = [b for _s, b in pairs]
+        assert all(b2 >= b1 * 0.98 for b1, b2 in zip(bws, bws[1:])), c.label

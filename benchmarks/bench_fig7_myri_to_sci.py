@@ -1,0 +1,45 @@
+"""Figure 7 — forwarding bandwidth, Myrinet -> SCI.
+
+The paper's striking result: the same experiment run in the opposite
+direction performs far worse (≈ 25 MB/s at 8 KB paquets, never much above
+≈ 35 MB/s), because the gateway's SCI sends are CPU PIO transactions that
+the PCI arbiter deprioritizes below the Myrinet card's DMA receive
+transactions (§3.4.1) — the sends run ≈ 2× slower while a receive is in
+flight.
+"""
+
+from repro.analysis import plot_series
+from repro.bench import (PAPER_PACKET_SIZES, figure_sweep, format_comparison,
+                         format_series_table, PaperPoint)
+
+from common import PAPER, emit, once
+
+
+def bench_fig7_myrinet_to_sci(benchmark):
+    curves = once(benchmark, lambda: figure_sweep("a0->b0"))
+
+    table = format_series_table(
+        curves, title="Figure 7: multiprotocol forwarding bandwidth, "
+                      "Myrinet -> SCI")
+    plot = plot_series(curves, title="Figure 7 (reproduction)")
+    comparison = format_comparison(
+        [PaperPoint(f"asymptote, paquet {p >> 10} KB",
+                    PAPER["fig7_asymptote"][p],
+                    c.asymptote, note="reconstructed from Fig. 7")
+         for p, c in zip(PAPER_PACKET_SIZES, curves)],
+        title="paper vs measured")
+    emit("fig7_myrinet_to_sci", f"{table}\n\n{plot}\n\n{comparison}")
+
+    benchmark.extra_info["asymptotes"] = {
+        c.label: round(c.asymptote, 1) for c in curves}
+
+    # Shape assertions:
+    asym = [c.asymptote for c in curves]
+    sci_to_myri = figure_sweep("b0->a0", packet_sizes=(128 << 10,),
+                               message_sizes=(4 << 20, 8 << 20, 16 << 20))
+    # 1. dramatically below the opposite direction at large paquets
+    assert asym[-1] < sci_to_myri[0].asymptote * 0.8
+    # 2. flat-ish: going 8 KB -> 128 KB helps far less than in Figure 6
+    assert asym[-1] < asym[0] * 1.8
+    # 3. nowhere near the PCI ceiling
+    assert asym[-1] < 50.0

@@ -1,0 +1,83 @@
+"""Extension bench — multi-rail forwarding over parallel gateways.
+
+The paper's mechanism supports configurations with several gateways between
+the same clusters; the high-level routing built on top (§1: "high-level
+traditional routing mechanisms can easily and efficiently be implemented")
+can then spread traffic over the parallel rails.  This bench measures the
+aggregate throughput of two concurrent transfers, Myrinet cluster -> SCI
+cluster, with one vs two gateways.
+"""
+
+import numpy as np
+
+from repro.hw import build_world
+from repro.madeleine import Session
+
+from common import emit, once
+
+SIZE = 2 << 20
+PACKET = 64 << 10
+
+
+def run(n_gateways, multirail):
+    adapters = {"m0": ["myrinet"]}
+    gws = [f"gw{i}" for i in range(n_gateways)]
+    for g in gws:
+        adapters[g] = ["myrinet", "sci"]
+    adapters["s0"] = ["sci"]
+    adapters["s1"] = ["sci"]
+    w = build_world(adapters)
+    s = Session(w)
+    vch = s.virtual_channel([
+        s.channel("myrinet", ["m0", *gws]),
+        s.channel("sci", [*gws, "s0", "s1"]),
+    ], packet_size=PACKET, multirail=multirail)
+    done = {}
+    data = np.zeros(SIZE, dtype=np.uint8)
+
+    def snd(dst):
+        def proc():
+            m = vch.endpoint(0).begin_packing(dst)
+            m.pack(data)
+            yield m.end_packing()
+        return proc
+
+    def rcv(dst):
+        def proc():
+            inc = yield vch.endpoint(dst).begin_unpacking()
+            _ev, _b = inc.unpack(SIZE)
+            yield inc.end_unpacking()
+            done[dst] = s.now
+        return proc
+
+    for name in ("s0", "s1"):
+        s.spawn(snd(s.rank(name))())
+        s.spawn(rcv(s.rank(name))())
+    s.run()
+    elapsed = max(done.values())
+    used = sum(1 for wk in vch.workers if wk.messages_forwarded)
+    return 2 * SIZE / elapsed, used
+
+
+def bench_multirail(benchmark):
+    results = once(benchmark, lambda: {
+        "1 gateway": run(1, multirail=False),
+        "2 gateways, single rail": run(2, multirail=False),
+        "2 gateways, multirail": run(2, multirail=True),
+    })
+    lines = [f"Aggregate Myrinet->SCI throughput, two {SIZE >> 20} MB "
+             f"transfers to two receivers",
+             f"{'configuration':>26s}{'MB/s':>9s}{'rails used':>12s}"]
+    lines.append("-" * len(lines[-1]))
+    for label, (bw, used) in results.items():
+        lines.append(f"{label:>26s}{bw:9.1f}{used:12d}")
+    gain = (results["2 gateways, multirail"][0]
+            / results["2 gateways, single rail"][0])
+    lines.append(f"\nmultirail gain over single rail: {gain:.2f}x")
+    emit("multirail", "\n".join(lines))
+    benchmark.extra_info["gain"] = round(gain, 2)
+
+    # Shape assertions:
+    assert results["2 gateways, multirail"][1] == 2
+    assert results["2 gateways, single rail"][1] == 1
+    assert gain > 1.3     # the second rail must pay off substantially

@@ -1,0 +1,95 @@
+"""§3.2 calibration table — raw Madeleine one-way performance per network.
+
+The paper's discussion (§3.2.2, §3.3.1) leans on the raw single-network
+numbers: Myrinet and SCI perform about equally around 16 KB messages
+(≈ 40 MB/s), SCI wins below, Myrinet wins above and exceeds 60 MB/s for
+large messages (the practical one-way PCI limit).  This benchmark
+regenerates that table for Myrinet, SCI, and the Fast-Ethernet ack network.
+"""
+
+import numpy as np
+
+from repro.analysis import crossover_size, fit_linear_cost
+from repro.bench import (PaperPoint, Series, format_comparison,
+                         format_series_table, human_size)
+from repro.hw import build_world
+from repro.madeleine import Session
+
+from common import PAPER, emit, once
+
+SIZES = [(1 << k) << 10 for k in range(0, 13)]   # 1 KB .. 4 MB
+
+
+def raw_one_way(proto: str, size: int) -> float:
+    w = build_world({"a": [proto], "b": [proto]})
+    s = Session(w)
+    ch = s.channel(proto, ["a", "b"])
+    out = {}
+    data = np.zeros(size, dtype=np.uint8)
+
+    def snd():
+        m = ch.endpoint(0).begin_packing(1)
+        yield m.pack(data)
+        yield m.end_packing()
+
+    def rcv():
+        inc = yield ch.endpoint(1).begin_unpacking()
+        _ev, _b = inc.unpack(size)
+        yield inc.end_unpacking()
+        out["t"] = s.now
+
+    s.spawn(snd()); s.spawn(rcv()); s.run()
+    return out["t"]
+
+
+def sweep() -> dict[str, Series]:
+    curves = {}
+    for proto in ("myrinet", "sci", "fast_ethernet"):
+        series = Series(label=proto)
+        for size in SIZES:
+            t = raw_one_way(proto, size)
+            series.add(size, size / t)
+            series.meta.setdefault("times", []).append(t)
+        curves[proto] = series
+    return curves
+
+
+def bench_raw_networks(benchmark):
+    curves = once(benchmark, sweep)
+    myri, sci = curves["myrinet"], curves["sci"]
+
+    table = format_series_table(
+        list(curves.values()),
+        title="Raw Madeleine one-way bandwidth per network (§3.2)")
+    lat_m, bw_m = fit_linear_cost(myri.sizes[4:], myri.meta["times"][4:])
+    lat_s, bw_s = fit_linear_cost(sci.sizes[4:], sci.meta["times"][4:])
+    cross = crossover_size(sci, myri)
+    notes = (f"\nfitted cost models (t = L + s/B):\n"
+             f"  myrinet: L = {lat_m:6.1f} µs   B = {bw_m:5.1f} MB/s\n"
+             f"  sci:     L = {lat_s:6.1f} µs   B = {bw_s:5.1f} MB/s\n"
+             f"Myrinet overtakes SCI at {human_size(cross)} "
+             f"(paper: crossover near 16 KB)")
+    comparison = format_comparison([
+        PaperPoint("myrinet @ 8 KB", PAPER["raw_myrinet_8k"],
+                   myri.bandwidths[myri.sizes.index(8 << 10)], note="§3.3.1"),
+        PaperPoint("sci @ 8 KB", PAPER["raw_sci_8k"],
+                   sci.bandwidths[sci.sizes.index(8 << 10)], note="§3.3.1"),
+        PaperPoint("myrinet asymptote", PAPER["raw_myrinet_asymptote"],
+                   myri.asymptote, note="> 60 MB/s for large messages"),
+        PaperPoint("sci asymptote", PAPER["raw_sci_asymptote"],
+                   sci.asymptote, note="PIO/write-combining limited"),
+    ], title="paper vs measured")
+    emit("raw_networks", f"{table}\n{notes}\n\n{comparison}")
+
+    benchmark.extra_info["crossover"] = cross
+
+    # Shape assertions:
+    # 1. SCI wins small messages, Myrinet wins large ones (§3.2.2)
+    assert sci.bandwidths[0] > myri.bandwidths[0]
+    assert myri.asymptote > sci.asymptote
+    # 2. crossover in the KB range, near the paper's 16 KB
+    assert 4 << 10 <= cross <= 128 << 10
+    # 3. Myrinet exceeds 60 MB/s but respects the PCI practical ceiling
+    assert 60.0 < myri.asymptote <= PAPER["pci_oneway_ceiling"]
+    # 4. Fast-Ethernet is an order of magnitude below
+    assert curves["fast_ethernet"].asymptote < 12.0

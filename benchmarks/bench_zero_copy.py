@@ -1,0 +1,88 @@
+"""§2.3 — the zero-copy matrix.
+
+For each (incoming discipline × outgoing discipline) pair at the gateway,
+count the copies performed per forwarded byte and measure the bandwidth.
+The paper's rules:
+
+* dynamic × dynamic — zero copies (buffers referenced directly);
+* static in × dynamic out — zero: send straight from the landing block;
+* dynamic in × static out — zero: receive straight into a block *borrowed
+  from the outgoing TM*;
+* static × static — exactly one unavoidable copy.
+"""
+
+import numpy as np
+
+from repro.hw import build_world
+from repro.madeleine import Session
+
+from common import emit, once
+
+SIZE = 1 << 20
+PACKET = 32 << 10
+
+PAIRS = [
+    ("myrinet", "gigabit_tcp", "dynamic x dynamic"),
+    ("sci", "myrinet", "static-rx x dynamic (land in SCI block)"),
+    ("myrinet", "sci", "dynamic x static-tx (borrow SCI block)"),
+    ("sbp", "sci", "static x static (one copy)"),
+]
+
+
+def run_pair(p_in, p_out):
+    w = build_world({"src": [p_in], "gw": [p_in, p_out], "dst": [p_out]})
+    s = Session(w)
+    vch = s.virtual_channel([
+        s.channel(p_in, ["src", "gw"]),
+        s.channel(p_out, ["gw", "dst"]),
+    ], packet_size=PACKET)
+    out = {}
+    data = np.zeros(SIZE, dtype=np.uint8)
+
+    def snd():
+        m = vch.endpoint(0).begin_packing(2)
+        yield m.pack(data)
+        yield m.end_packing()
+
+    def rcv():
+        inc = yield vch.endpoint(2).begin_unpacking()
+        _ev, _b = inc.unpack(SIZE)
+        yield inc.end_unpacking()
+        out["t"] = s.now
+
+    s.spawn(snd()); s.spawn(rcv()); s.run()
+    by = w.accounting.by_label()
+    gw_bytes = by.get("gateway.static_copy", (0, 0))[1]
+    return {
+        "bandwidth": SIZE / out["t"],
+        "gateway_copy_bytes": gw_bytes,
+        "gateway_copies_per_byte": gw_bytes / SIZE,
+        "all_labels": by,
+    }
+
+
+def bench_zero_copy_matrix(benchmark):
+    results = once(benchmark, lambda: {
+        label: run_pair(a, b) for a, b, label in PAIRS})
+
+    lines = [f"The zero-copy matrix (§2.3), {SIZE >> 20} MB messages, "
+             f"{PACKET >> 10} KB paquets",
+             f"{'path':48s}{'gateway copies/byte':>20s}{'MB/s':>10s}"]
+    lines.append("-" * len(lines[-1]))
+    for _a, _b, label in PAIRS:
+        r = results[label]
+        lines.append(f"{label:48s}{r['gateway_copies_per_byte']:20.3f}"
+                     f"{r['bandwidth']:10.1f}")
+    emit("zero_copy_matrix", "\n".join(lines))
+    benchmark.extra_info["copies_per_byte"] = {
+        label: round(r["gateway_copies_per_byte"], 3)
+        for label, r in results.items()}
+
+    # The contract:
+    for _a, _b, label in PAIRS[:3]:
+        assert results[label]["gateway_copy_bytes"] == 0, label
+    ss = results[PAIRS[3][2]]
+    assert 0.999 < ss["gateway_copies_per_byte"] < 1.01
+    # The copy costs real bandwidth: static x static through the same SCI
+    # outgoing link is slower than the borrowed-buffer path.
+    assert ss["bandwidth"] < results[PAIRS[2][2]]["bandwidth"]

@@ -1,0 +1,6 @@
+"""Make the shared helpers importable when running `pytest benchmarks/`."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))

@@ -1,0 +1,40 @@
+"""repro — reproduction of *Efficient Inter-Device Data-Forwarding in the
+Madeleine Communication Library* (Aumage, Eyraud, Namyst — IPPS 2001).
+
+The package rebuilds the paper's whole system on a deterministic
+discrete-event simulator (the 2001 Myrinet/SCI testbed being long gone):
+
+* :mod:`repro.sim` — the simulation kernel (events, processes, fluid flows);
+* :mod:`repro.hw` — PCI buses, NICs, links, nodes, cluster topologies;
+* :mod:`repro.memory` — numpy-backed buffers, pools, copy accounting;
+* :mod:`repro.madeleine` — the Madeleine library: channels, BMMs, TMs, the
+  Generic Transmission Module, virtual channels, gateway pipelines;
+* :mod:`repro.routing` — cluster-of-clusters routing and MTU negotiation;
+* :mod:`repro.baselines` — Nexus-style app-level forwarding, PACX-style TCP;
+* :mod:`repro.minimpi` — an MPI-flavoured layer (the Madeleine-III direction);
+* :mod:`repro.rpc` — PM2-style lightweight RPC over virtual channels;
+* :mod:`repro.bench` — the §3.1 ping method and figure sweeps;
+* :mod:`repro.analysis` — bandwidth curves and pipeline timelines.
+
+Quickstart::
+
+    from repro.hw import build_world
+    from repro.madeleine import Session
+
+    world = build_world({"m0": ["myrinet"], "gw": ["myrinet", "sci"],
+                         "s0": ["sci"]})
+    session = Session(world)
+    vch = session.virtual_channel([
+        session.channel("myrinet", ["m0", "gw"]),
+        session.channel("sci", ["gw", "s0"]),
+    ], packet_size=64 << 10)
+    # see examples/quickstart.py for the full send/receive loop
+"""
+
+__version__ = "1.0.0"
+
+from . import (analysis, baselines, bench, hw, madeleine, memory, minimpi,
+               routing, rpc, sim)
+
+__all__ = ["analysis", "baselines", "bench", "hw", "madeleine", "memory",
+           "minimpi", "routing", "rpc", "sim", "__version__"]

@@ -1,0 +1,22 @@
+"""Analysis of benchmark results and gateway pipeline traces."""
+
+from .ascii_plot import plot_series
+from .model import (PipelinePrediction, fragment_time,
+                    predict_forwarding)
+from .export import to_chrome_trace, write_chrome_trace
+from .occupancy import BusMonitor
+from .stats import SessionStats, collect_stats, format_stats
+from .bandwidth import (bandwidth, crossover_size, fit_linear_cost,
+                        half_bandwidth_point)
+from .pipeline import (PipelineStats, StepTimeline, extract_timeline,
+                       pipeline_stats, render_timeline)
+
+__all__ = [
+    "plot_series", "BusMonitor",
+    "PipelinePrediction", "fragment_time", "predict_forwarding",
+    "to_chrome_trace", "write_chrome_trace",
+    "SessionStats", "collect_stats", "format_stats",
+    "bandwidth", "crossover_size", "fit_linear_cost", "half_bandwidth_point",
+    "PipelineStats", "StepTimeline", "extract_timeline", "pipeline_stats",
+    "render_timeline",
+]

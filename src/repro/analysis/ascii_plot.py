@@ -1,0 +1,45 @@
+"""Terminal plots for benchmark output (log-x bandwidth curves)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..bench.sweep import Series
+
+__all__ = ["plot_series"]
+
+_MARKS = "ox+*#@%&"
+
+
+def plot_series(curves: Sequence[Series], width: int = 72, height: int = 18,
+                title: str = "", ylabel: str = "MB/s") -> str:
+    """Multi-curve scatter plot, log-scaled x (message size)."""
+    pts = [(s, b) for c in curves for s, b in c.as_rows()]
+    if not pts:
+        return "(no data)"
+    xs = [math.log2(max(p[0], 1)) for p in pts]
+    ys = [p[1] for p in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = 0.0, max(ys) * 1.05
+    xspan = max(x1 - x0, 1e-9)
+    yspan = max(y1 - y0, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    for ci, curve in enumerate(curves):
+        mark = _MARKS[ci % len(_MARKS)]
+        for s, b in curve.as_rows():
+            col = int((math.log2(max(s, 1)) - x0) / xspan * (width - 1))
+            row = int((b - y0) / yspan * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        yval = y1 - i * yspan / (height - 1)
+        lines.append(f"{yval:7.1f} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * (width - 1))
+    lines.append(" " * 9 + f"{2**x0:.0f}B{'':{max(width - 20, 1)}}{2**x1 / 2**20:.1f}MB (log)")
+    legend = "   ".join(f"{_MARKS[i % len(_MARKS)]} {c.label}"
+                        for i, c in enumerate(curves))
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Closed-form pipeline model (the §3.3.1 back-of-envelope, as code).
+
+The paper reasons about the gateway pipeline analytically:
+
+* the steady-state period of the double-buffer pipeline is
+  ``max(t_recv, t_send) + switch_overhead`` where ``t_x`` are the one-hop
+  fragment times of the two networks;
+* in the Myrinet→SCI direction the send time must be computed with the PIO
+  slowdown applied while the (DMA) receive is on the bus.
+
+These formulas predict the asymptotic forwarding bandwidth from the raw
+per-network cost models alone; a test cross-checks them against the full
+simulation (they agree within a few percent, exactly the consistency
+argument of §3.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.fabric import FRAGMENT_HEADER_BYTES
+from ..hw.params import GatewayParams, NodeParams, ProtocolParams
+from ..sim.fluid import DMA, PIO
+
+__all__ = ["fragment_time", "PipelinePrediction", "predict_forwarding"]
+
+
+def fragment_time(proto: ProtocolParams, nbytes: int,
+                  rate: float | None = None) -> float:
+    """One-hop wire time of one fragment (sender overhead + latency +
+    stream time); ``rate`` overrides the protocol's host peak."""
+    rate = proto.host_peak if rate is None else rate
+    return (proto.tx_overhead + proto.latency
+            + (nbytes + FRAGMENT_HEADER_BYTES) / rate)
+
+
+@dataclass(frozen=True)
+class PipelinePrediction:
+    recv_us: float
+    send_us: float
+    period_us: float
+    bandwidth: float          # MB/s, asymptotic (payload bytes per period)
+
+
+def predict_forwarding(in_proto: ProtocolParams, out_proto: ProtocolParams,
+                       packet: int,
+                       gateway: GatewayParams | None = None,
+                       node: NodeParams | None = None) -> PipelinePrediction:
+    """Asymptotic forwarding bandwidth through one gateway.
+
+    Models: full-duplex sharing of the gateway PCI bus between the receive
+    and send flows (fair split of the duplex capacity, capped at each
+    protocol's peak), plus the PIO-under-DMA slowdown while the receive
+    flow is active (§3.4.1), plus the per-switch software overhead.
+    """
+    gateway = gateway or GatewayParams()
+    node = node or NodeParams()
+    cap = node.pci.capacity
+    wire = packet + FRAGMENT_HEADER_BYTES
+
+    # Fair-share rates while both flows are active on the gateway bus.
+    recv_rate = min(in_proto.host_peak, cap / 2) \
+        if in_proto.host_peak + out_proto.host_peak > cap else in_proto.host_peak
+    send_alone = out_proto.host_peak
+    if out_proto.tx_kind == PIO and in_proto.rx_kind == DMA:
+        send_contended = out_proto.host_peak / node.pci.pio_preempt_slowdown
+    else:
+        send_contended = min(send_alone, max(cap - recv_rate, cap / 2)) \
+            if in_proto.host_peak + out_proto.host_peak > cap else send_alone
+
+    t_recv = fragment_time(in_proto, packet, rate=recv_rate)
+    recv_stream = wire / recv_rate   # DMA-active portion of the period
+
+    # Send: contended while the receive streams, then alone.
+    contended_bytes = min(wire, send_contended * recv_stream)
+    rest = wire - contended_bytes
+    t_send = (out_proto.tx_overhead + out_proto.latency
+              + contended_bytes / send_contended
+              + (rest / send_alone if rest > 0 else 0.0))
+
+    period = max(t_recv, t_send) + gateway.switch_overhead
+    return PipelinePrediction(recv_us=t_recv, send_us=t_send,
+                              period_us=period,
+                              bandwidth=packet / period)

@@ -1,0 +1,94 @@
+"""Bus/link occupancy monitoring.
+
+Attaches to the fluid network's rate observers and keeps a piecewise-
+constant utilization timeline per resource — the PCI-bus view behind the
+§3.4.1 analysis (how much of the gateway bus the Myrinet DMA receive holds
+while the SCI PIO send starves).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from ..sim import FluidNetwork, FluidResource
+
+__all__ = ["BusMonitor"]
+
+
+class BusMonitor:
+    """Records per-resource total-rate timelines from a fluid network."""
+
+    def __init__(self, fnet: FluidNetwork) -> None:
+        self.fnet = fnet
+        #: resource -> list of (time, total_rate) change points
+        self.timelines: dict[FluidResource, list[tuple[float, float]]] = \
+            defaultdict(list)
+        fnet.rate_observers.append(self._on_rate_change)
+
+    def _on_rate_change(self, t: float, flow, _rate: float) -> None:
+        for res in flow.resources():
+            total = self.fnet.utilization(res)
+            tl = self.timelines[res]
+            if tl and tl[-1][0] == t:
+                tl[-1] = (t, total)
+            else:
+                tl.append((t, total))
+
+    # -- queries -----------------------------------------------------------
+    def timeline(self, resource: FluidResource) -> list[tuple[float, float]]:
+        return list(self.timelines.get(resource, []))
+
+    def mean_utilization(self, resource: FluidResource,
+                         t0: float = 0.0,
+                         t1: Optional[float] = None) -> float:
+        """Time-averaged total rate through ``resource`` over [t0, t1]."""
+        tl = self.timelines.get(resource)
+        if not tl:
+            return 0.0
+        if t1 is None:
+            t1 = self.fnet.sim.now
+        if t1 <= t0:
+            raise ValueError("empty averaging window")
+        area = 0.0
+        for (ta, rate), (tb, _r2) in zip(tl, tl[1:] + [(t1, 0.0)]):
+            lo, hi = max(ta, t0), min(tb, t1)
+            if hi > lo:
+                area += rate * (hi - lo)
+        return area / (t1 - t0)
+
+    def busy_fraction(self, resource: FluidResource, t0: float = 0.0,
+                      t1: Optional[float] = None,
+                      threshold: float = 1e-9) -> float:
+        """Fraction of [t0, t1] during which the resource carried traffic."""
+        tl = self.timelines.get(resource)
+        if not tl:
+            return 0.0
+        if t1 is None:
+            t1 = self.fnet.sim.now
+        if t1 <= t0:
+            raise ValueError("empty averaging window")
+        busy = 0.0
+        for (ta, rate), (tb, _r2) in zip(tl, tl[1:] + [(t1, 0.0)]):
+            lo, hi = max(ta, t0), min(tb, t1)
+            if hi > lo and rate > threshold:
+                busy += hi - lo
+        return busy / (t1 - t0)
+
+    def sparkline(self, resource: FluidResource, width: int = 64,
+                  t0: float = 0.0, t1: Optional[float] = None) -> str:
+        """A one-line utilization chart (0..capacity mapped to 8 levels)."""
+        if t1 is None:
+            t1 = self.fnet.sim.now
+        if t1 <= t0:
+            return ""
+        marks = " ▁▂▃▄▅▆▇█"
+        step = (t1 - t0) / width
+        cells = []
+        for i in range(width):
+            a = t0 + i * step
+            u = self.mean_utilization(resource, a, a + step)
+            level = min(len(marks) - 1,
+                        int(u / resource.capacity * (len(marks) - 1) + 0.5))
+            cells.append(marks[level])
+        return "".join(cells)

@@ -1,0 +1,8 @@
+"""Comparison baselines: application-level forwarding (Nexus-style) and
+PACX-style TCP inter-cluster coupling."""
+
+from .app_forward import AppLevelForwarder, app_recv, app_send
+from .pacx import PacxCoupling, build_pacx_coupling
+
+__all__ = ["AppLevelForwarder", "app_recv", "app_send",
+           "PacxCoupling", "build_pacx_coupling"]

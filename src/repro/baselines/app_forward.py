@@ -1,0 +1,115 @@
+"""Application-level store-and-forward baseline (the design §2.2.2 rejects).
+
+Nexus-style multi-device systems leave routing to the application: a relay
+program on the gateway *receives the whole message* with regular operations,
+then *re-sends* it on the other network.  Compared to the integrated GTM
+mechanism this
+
+* buffers every message entirely on the gateway (no pipelining: the second
+  hop starts only after the last byte of the first hop has arrived),
+* moves all data through Madeleine twice with extra copies into temporary
+  buffers, and
+* is not transparent: messages must carry an application-level envelope
+  (destination + size header) and gateway code is part of the application.
+
+This module implements exactly that, as a baseline for the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..madeleine.channel import RealChannel
+from ..madeleine.flags import RecvMode, SendMode
+from ..memory import Buffer
+from ..routing import RouteTable
+from ..sim import Event
+
+__all__ = ["AppLevelForwarder", "app_send", "app_recv"]
+
+_HEADER = np.dtype(np.uint32)
+
+
+class AppLevelForwarder:
+    """A relay *application* running on one gateway rank.
+
+    Spawns one relay process per channel the gateway belongs to; each loops:
+    receive envelope + full payload into a temporary buffer, look up the next
+    hop, re-send.  ``stop()`` terminates the relays after in-flight messages.
+    """
+
+    def __init__(self, channels: Sequence[RealChannel], gw_rank: int) -> None:
+        self.channels = [ch for ch in channels if gw_rank in ch.members]
+        if len(self.channels) < 2:
+            raise ValueError("a forwarder needs a rank on >= 2 channels")
+        self.gw_rank = gw_rank
+        self.routes = RouteTable(list(channels))
+        self.sim = self.channels[0].sim
+        self.accounting = self.channels[0].fabric.accounting
+        self.node = self.channels[0].world.nodes[gw_rank]
+        self.messages_forwarded = 0
+        self._stopping = False
+        self.processes = [
+            self.sim.process(self._relay(ch), name=f"appfwd:{ch.id}@{gw_rank}")
+            for ch in self.channels
+        ]
+
+    def stop(self) -> None:
+        self._stopping = True
+
+    def _relay(self, channel: RealChannel):
+        ep = channel.endpoint(self.gw_rank)
+        while not self._stopping:
+            inc = yield ep.begin_unpacking()
+            ev, hdr = inc.unpack(8, SendMode.CHEAPER, RecvMode.EXPRESS)
+            yield ev
+            final_dst, size = (int(x) for x in hdr.data.view(_HEADER)[:2])
+            temp = Buffer.alloc(size, label="appfwd.temp")
+            _ev2, _ = inc.unpack(into=temp)
+            yield inc.end_unpacking()
+            # The relay is ordinary application code: it works on its own
+            # temporary buffer.  Model the user-space handling cost (the
+            # extra copy the paper's §2.2.2 calls "unavoidable" at this
+            # level) as one charged memcpy.
+            staged = Buffer.alloc(size, label="appfwd.stage")
+            yield from self.node.memcpy(size)
+            staged.copy_from(temp, self.accounting, self.sim.now,
+                             "baseline.app_copy")
+            hop = self.routes.next_hop(self.gw_rank, final_dst)
+            out = hop.channel.endpoint(self.gw_rank).begin_packing(hop.dst)
+            out.pack(hdr, SendMode.SAFER, RecvMode.EXPRESS)
+            out.pack(staged, SendMode.CHEAPER, RecvMode.CHEAPER)
+            yield out.end_packing()
+            self.messages_forwarded += 1
+
+
+def app_send(channel_table: RouteTable, src: int, dst: int,
+             data) -> "Event":
+    """Send ``data`` from ``src`` toward ``dst`` with the application-level
+    envelope; returns the end_packing event.  The caller must be a process.
+    """
+    hop = channel_table.next_hop(src, dst)
+    msg = hop.channel.endpoint(src).begin_packing(hop.dst)
+    data = data if isinstance(data, Buffer) else Buffer.wrap(data)
+    hdr = np.array([dst, len(data)], dtype=np.uint32).view(np.uint8)
+    msg.pack(hdr, SendMode.SAFER, RecvMode.EXPRESS)
+    msg.pack(data, SendMode.CHEAPER, RecvMode.CHEAPER)
+    return msg.end_packing()
+
+
+def app_recv(channel: RealChannel, rank: int):
+    """Generator: receive one enveloped message at ``rank`` on ``channel``;
+    returns (origin_envelope_dst, Buffer).  Yields sim events."""
+    ep = channel.endpoint(rank)
+    inc = yield ep.begin_unpacking()
+    ev, hdr = inc.unpack(8, SendMode.CHEAPER, RecvMode.EXPRESS)
+    yield ev
+    final_dst, size = (int(x) for x in hdr.data.view(_HEADER)[:2])
+    if final_dst != rank:
+        raise RuntimeError(
+            f"envelope addressed to {final_dst} arrived at {rank}")
+    _ev, buf = inc.unpack(size)
+    yield inc.end_unpacking()
+    return buf

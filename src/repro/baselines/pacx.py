@@ -1,0 +1,63 @@
+"""PACX-style inter-cluster glue baseline (§1).
+
+PACX-MPI couples clusters by running relay daemons that ship *all*
+inter-cluster traffic over TCP, regardless of the fast links that may exist
+between the clusters.  The paper's opening argument is that this wastes the
+gigabit-class inter-cluster hardware of a cluster of clusters.
+
+This module builds that architecture on our substrate: native high-speed
+channels inside each cluster, a TCP channel between the two gateway daemons,
+and application-level store-and-forward relays on both daemons (PACX relays
+are ordinary MPI processes — they cannot pipeline through the NICs either).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..madeleine.channel import RealChannel
+from ..madeleine.session import Session
+from ..routing import RouteTable
+from .app_forward import AppLevelForwarder
+
+__all__ = ["PacxCoupling", "build_pacx_coupling"]
+
+
+@dataclass
+class PacxCoupling:
+    """The assembled baseline: channels, relays, and a route table for the
+    application-level envelope protocol."""
+
+    intra_a: RealChannel
+    intra_b: RealChannel
+    inter: RealChannel
+    relays: tuple[AppLevelForwarder, AppLevelForwarder]
+    routes: RouteTable
+
+    @property
+    def channels(self) -> list[RealChannel]:
+        return [self.intra_a, self.intra_b, self.inter]
+
+
+def build_pacx_coupling(session: Session,
+                        cluster_a: Sequence[str | int], protocol_a: str,
+                        cluster_b: Sequence[str | int], protocol_b: str,
+                        tcp_protocol: str = "gigabit_tcp") -> PacxCoupling:
+    """Couple two clusters PACX-style.
+
+    The *last* node of each cluster acts as that cluster's relay daemon and
+    must own an adapter of ``tcp_protocol`` (plus its cluster protocol).
+    """
+    ranks_a = session.ranks(cluster_a)
+    ranks_b = session.ranks(cluster_b)
+    daemon_a, daemon_b = ranks_a[-1], ranks_b[-1]
+    intra_a = session.channel(protocol_a, ranks_a)
+    intra_b = session.channel(protocol_b, ranks_b)
+    inter = session.channel(tcp_protocol, [daemon_a, daemon_b])
+    channels = [intra_a, intra_b, inter]
+    relay_a = AppLevelForwarder(channels, daemon_a)
+    relay_b = AppLevelForwarder(channels, daemon_b)
+    return PacxCoupling(intra_a=intra_a, intra_b=intra_b, inter=inter,
+                        relays=(relay_a, relay_b),
+                        routes=RouteTable(channels))

@@ -1,0 +1,15 @@
+"""Benchmark harness: the §3.1 ping method, parameter sweeps, and table
+formatting used by every figure/table reproduction in ``benchmarks/``."""
+
+from .ping import PingHarness, PingResult, measure_ack_latency, one_way_ping
+from .sweep import (PAPER_MESSAGE_SIZES, PAPER_PACKET_SIZES, Series,
+                    bandwidth_sweep, figure_sweep)
+from .tables import (PaperPoint, format_comparison, format_series_table,
+                     human_size)
+
+__all__ = [
+    "PingHarness", "PingResult", "measure_ack_latency", "one_way_ping",
+    "PAPER_MESSAGE_SIZES", "PAPER_PACKET_SIZES", "Series",
+    "bandwidth_sweep", "figure_sweep",
+    "PaperPoint", "format_comparison", "format_series_table", "human_size",
+]

@@ -1,0 +1,146 @@
+"""The paper's measurement method (§3.1).
+
+One-way transmission time is obtained with a *single ping* test: the payload
+travels src → dst over the high-speed path (possibly through the gateway),
+and a small ack returns over a Fast-Ethernet connection.  Since the latency
+of the ack is known exactly, the one-way time is the observed round-trip
+time minus the ack latency.
+
+We reproduce the method literally (including the ack calibration step) and
+— because this is a simulator — can also measure the one-way time directly;
+a test asserts the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..madeleine.channel import RealChannel
+from ..madeleine.session import Session
+from ..madeleine.vchannel import VirtualChannel
+
+__all__ = ["PingResult", "measure_ack_latency", "one_way_ping", "PingHarness"]
+
+_ACK_BYTES = 4
+
+
+@dataclass(frozen=True)
+class PingResult:
+    """One measured point."""
+
+    size: int                 # payload bytes
+    one_way_us: float         # estimated from RTT - ack (the paper's method)
+    direct_us: float          # directly observed in the simulator
+    rtt_us: float
+    ack_us: float
+
+    @property
+    def bandwidth(self) -> float:
+        """MB/s (== bytes/µs)."""
+        return self.size / self.one_way_us
+
+
+def measure_ack_latency(session: Session, ack_channel: RealChannel,
+                        src: int, dst: int) -> float:
+    """Calibrate the ack: one 4-byte message dst -> src on the ack channel."""
+    t = {}
+
+    def acker():
+        msg = ack_channel.endpoint(dst).begin_packing(src)
+        yield msg.pack(np.zeros(_ACK_BYTES, dtype=np.uint8))
+        yield msg.end_packing()
+
+    def receiver():
+        t0 = session.now
+        inc = yield ack_channel.endpoint(src).begin_unpacking()
+        _ev, _b = inc.unpack(_ACK_BYTES)
+        yield inc.end_unpacking()
+        t["ack"] = session.now - t0
+
+    session.spawn(acker(), "ack-cal-snd")
+    p = session.spawn(receiver(), "ack-cal-rcv")
+    session.run(until=p)
+    return t["ack"]
+
+
+def one_way_ping(session: Session, vch: VirtualChannel,
+                 ack_channel: RealChannel, src: int, dst: int,
+                 size: int, ack_latency: Optional[float] = None) -> PingResult:
+    """Run the §3.1 single-ping measurement for one payload size."""
+    if ack_latency is None:
+        ack_latency = measure_ack_latency(session, ack_channel, src, dst)
+    data = np.zeros(size, dtype=np.uint8)
+    t: dict[str, float] = {}
+
+    def pinger():
+        t["t0"] = session.now
+        msg = vch.endpoint(src).begin_packing(dst)
+        yield msg.pack(data)
+        yield msg.end_packing()
+        inc = yield ack_channel.endpoint(src).begin_unpacking()
+        _ev, _b = inc.unpack(_ACK_BYTES)
+        yield inc.end_unpacking()
+        t["rtt"] = session.now - t["t0"]
+
+    def ponger():
+        inc = yield vch.endpoint(dst).begin_unpacking()
+        _ev, _b = inc.unpack(size)
+        yield inc.end_unpacking()
+        t["direct"] = session.now - t["t0"]
+        ack = ack_channel.endpoint(dst).begin_packing(src)
+        yield ack.pack(np.zeros(_ACK_BYTES, dtype=np.uint8))
+        yield ack.end_packing()
+
+    session.spawn(ponger(), "ponger")
+    p = session.spawn(pinger(), "pinger")
+    session.run(until=p)
+    return PingResult(size=size, one_way_us=t["rtt"] - ack_latency,
+                      direct_us=t["direct"], rtt_us=t["rtt"],
+                      ack_us=ack_latency)
+
+
+class PingHarness:
+    """Builds a fresh paper-style testbed per measurement point.
+
+    Simulated state is cheap, so each point runs in a pristine world — the
+    equivalent of the paper's repeated, isolated test runs.
+    """
+
+    def __init__(self, packet_size: int = 16 << 10,
+                 gateway_params=None, protocols=("myrinet", "sci"),
+                 node_params=None) -> None:
+        self.packet_size = packet_size
+        self.gateway_params = gateway_params
+        self.protocols = protocols
+        self.node_params = node_params
+
+    def build(self):
+        from ..hw import build_world
+        pa, pb = self.protocols
+        world = build_world({
+            "a0": [pa, "fast_ethernet"],
+            "gw": [pa, pb, "fast_ethernet"],
+            "b0": [pb, "fast_ethernet"],
+        }, node_params=self.node_params)
+        session = Session(world)
+        ch_a = session.channel(pa, ["a0", "gw"])
+        ch_b = session.channel(pb, ["gw", "b0"])
+        vch = session.virtual_channel([ch_a, ch_b],
+                                      packet_size=self.packet_size,
+                                      gateway_params=self.gateway_params)
+        ack = session.channel("fast_ethernet", ["a0", "b0"])
+        return world, session, vch, ack
+
+    def measure(self, size: int, direction: str = "b0->a0") -> PingResult:
+        """``direction``: "a0->b0" (first protocol first) or "b0->a0"."""
+        world, session, vch, ack = self.build()
+        if direction == "a0->b0":
+            src, dst = session.rank("a0"), session.rank("b0")
+        elif direction == "b0->a0":
+            src, dst = session.rank("b0"), session.rank("a0")
+        else:
+            raise ValueError(f"bad direction {direction!r}")
+        return one_way_ping(session, vch, ack, src, dst, size)

@@ -1,0 +1,77 @@
+"""Parameter sweeps: the loops behind every figure of the evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..hw.params import GatewayParams
+from .ping import PingHarness, PingResult
+
+__all__ = ["Series", "bandwidth_sweep", "figure_sweep",
+           "PAPER_PACKET_SIZES", "PAPER_MESSAGE_SIZES"]
+
+#: the paper sweeps paquet sizes 8 KB .. 128 KB (Figures 6 and 7)
+PAPER_PACKET_SIZES = tuple((1 << k) << 10 for k in range(3, 8))
+
+#: message sizes up to 16 MB (the figures' x axis, log-spaced)
+PAPER_MESSAGE_SIZES = tuple((1 << k) << 10 for k in range(3, 15))
+
+
+@dataclass
+class Series:
+    """One curve: bandwidth (MB/s) against message size (bytes)."""
+
+    label: str
+    sizes: list[int] = field(default_factory=list)
+    bandwidths: list[float] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    def add(self, size: int, bandwidth: float) -> None:
+        self.sizes.append(size)
+        self.bandwidths.append(bandwidth)
+
+    @property
+    def asymptote(self) -> float:
+        """Mean of the top quartile of points (a robust plateau estimate)."""
+        if not self.bandwidths:
+            raise ValueError(f"series {self.label!r} is empty")
+        top = sorted(self.bandwidths)[-max(1, len(self.bandwidths) // 4):]
+        return sum(top) / len(top)
+
+    def as_rows(self) -> list[tuple[int, float]]:
+        return list(zip(self.sizes, self.bandwidths))
+
+
+def bandwidth_sweep(measure: Callable[[int], PingResult],
+                    sizes: Iterable[int], label: str) -> Series:
+    """Run ``measure`` over message sizes, collecting a bandwidth curve."""
+    series = Series(label=label)
+    for size in sizes:
+        result = measure(size)
+        series.add(size, result.bandwidth)
+    return series
+
+
+def figure_sweep(direction: str,
+                 packet_sizes: Sequence[int] = PAPER_PACKET_SIZES,
+                 message_sizes: Sequence[int] = PAPER_MESSAGE_SIZES,
+                 protocols: tuple[str, str] = ("myrinet", "sci"),
+                 gateway_params: Optional[GatewayParams] = None,
+                 node_params=None) -> list[Series]:
+    """The exact sweep behind Figure 6 (direction="b0->a0", i.e. SCI to
+    Myrinet) and Figure 7 (direction="a0->b0"): one bandwidth-vs-message-size
+    curve per paquet size."""
+    curves = []
+    for packet in packet_sizes:
+        harness = PingHarness(packet_size=packet,
+                              gateway_params=gateway_params,
+                              protocols=protocols, node_params=node_params)
+        series = bandwidth_sweep(
+            lambda size: harness.measure(size, direction=direction),
+            [m for m in message_sizes if m >= packet],
+            label=f"paquet {packet >> 10} KB")
+        series.meta["packet_size"] = packet
+        series.meta["direction"] = direction
+        curves.append(series)
+    return curves

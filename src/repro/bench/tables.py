@@ -1,0 +1,72 @@
+"""Result formatting: paper-style rows and paper-vs-measured comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from .sweep import Series
+
+__all__ = ["format_series_table", "format_comparison", "PaperPoint",
+           "human_size"]
+
+
+def human_size(nbytes: int) -> str:
+    if nbytes >= 1 << 20 and nbytes % (1 << 20) == 0:
+        return f"{nbytes >> 20} MB"
+    if nbytes >= 1 << 10 and nbytes % (1 << 10) == 0:
+        return f"{nbytes >> 10} KB"
+    return f"{nbytes} B"
+
+
+def format_series_table(curves: Sequence[Series], title: str = "") -> str:
+    """Rows = message sizes, columns = one bandwidth column per curve —
+    the same presentation as the paper's Figures 6/7."""
+    sizes = sorted({s for c in curves for s in c.sizes})
+    header = ["msg size".rjust(10)] + [c.label.rjust(16) for c in curves]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header))
+    lines.append("-" * len(lines[-1]))
+    for size in sizes:
+        row = [human_size(size).rjust(10)]
+        for c in curves:
+            try:
+                idx = c.sizes.index(size)
+                row.append(f"{c.bandwidths[idx]:13.1f} MB/s".rjust(16))
+            except ValueError:
+                row.append(" " * 16)
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PaperPoint:
+    """A reference value reconstructed from the paper's text/figures."""
+
+    quantity: str
+    paper_value: float
+    measured: float
+    unit: str = "MB/s"
+    note: str = ""
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.paper_value if self.paper_value else float("nan")
+
+
+def format_comparison(points: Iterable[PaperPoint],
+                      title: Optional[str] = None) -> str:
+    lines = []
+    if title:
+        lines.append(title)
+    header = (f"{'quantity':42s} {'paper':>9s} {'measured':>9s} "
+              f"{'ratio':>6s}  note")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for p in points:
+        lines.append(
+            f"{p.quantity:42s} {p.paper_value:7.1f} {p.unit:>2s}"
+            f" {p.measured:7.1f} {p.unit:>2s} {p.ratio:5.2f}x  {p.note}")
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Command-line interface: quick experiments without writing a script.
+
+Examples::
+
+    python -m repro info
+    python -m repro ping --direction sci-to-myri --size 4M --packet 64K
+    python -m repro raw --protocol myrinet
+    python -m repro fig6
+    python -m repro fig7 --packets 8K,128K
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import plot_series
+from .bench import (PAPER_MESSAGE_SIZES, PAPER_PACKET_SIZES, PingHarness,
+                    Series, figure_sweep, format_series_table)
+from .hw import PROTOCOLS
+
+__all__ = ["main"]
+
+
+def _parse_size(text: str) -> int:
+    text = text.strip().upper()
+    mult = 1
+    if text.endswith("K"):
+        mult, text = 1 << 10, text[:-1]
+    elif text.endswith("M"):
+        mult, text = 1 << 20, text[:-1]
+    try:
+        return int(float(text) * mult)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad size {text!r}") from None
+
+
+def _parse_sizes(text: str) -> list[int]:
+    return [_parse_size(part) for part in text.split(",") if part]
+
+
+def cmd_info(_args) -> int:
+    print("Calibrated protocols (bandwidths in MB/s, times in µs):\n")
+    header = (f"{'protocol':14s}{'peak':>6s}{'link':>6s}{'latency':>8s}"
+              f"{'tx':>5s}{'rx':>5s}{'static':>8s}{'mtu':>9s}")
+    print(header)
+    print("-" * len(header))
+    for p in PROTOCOLS.values():
+        static = ("tx+rx" if p.tx_static and p.rx_static
+                  else "tx" if p.tx_static else "rx" if p.rx_static else "-")
+        print(f"{p.name:14s}{p.host_peak:6.0f}{p.link_bandwidth:6.0f}"
+              f"{p.latency:8.1f}{p.tx_kind:>5s}{p.rx_kind:>5s}"
+              f"{static:>8s}{p.max_mtu >> 10:8d}K")
+    return 0
+
+
+def cmd_ping(args) -> int:
+    direction = {"sci-to-myri": "b0->a0", "myri-to-sci": "a0->b0"}[args.direction]
+    harness = PingHarness(packet_size=args.packet)
+    res = harness.measure(args.size, direction=direction)
+    print(f"{args.direction}, {args.size} B message, "
+          f"{args.packet >> 10} KB paquets:")
+    print(f"  one-way time : {res.one_way_us:10.1f} µs "
+          f"(RTT {res.rtt_us:.1f} − ack {res.ack_us:.1f})")
+    print(f"  bandwidth    : {res.bandwidth:10.1f} MB/s")
+    return 0
+
+
+def cmd_raw(args) -> int:
+    import numpy as np
+
+    from .hw import build_world
+    from .madeleine import Session
+
+    proto = args.protocol
+    if proto not in PROTOCOLS:
+        print(f"unknown protocol {proto!r}; try: {', '.join(PROTOCOLS)}",
+              file=sys.stderr)
+        return 2
+    series = Series(label=proto)
+    for size in args.sizes:
+        w = build_world({"a": [proto], "b": [proto]})
+        s = Session(w)
+        ch = s.channel(proto, ["a", "b"])
+        out = {}
+        data = np.zeros(size, dtype=np.uint8)
+
+        def snd():
+            m = ch.endpoint(0).begin_packing(1)
+            yield m.pack(data)
+            yield m.end_packing()
+
+        def rcv():
+            inc = yield ch.endpoint(1).begin_unpacking()
+            _ev, _b = inc.unpack(len(data))
+            yield inc.end_unpacking()
+            out["t"] = s.now
+
+        s.spawn(snd()); s.spawn(rcv()); s.run()
+        series.add(size, size / out["t"])
+    print(format_series_table([series],
+                              title=f"raw one-way bandwidth, {proto}"))
+    return 0
+
+
+def _figure(args, direction: str, title: str) -> int:
+    curves = figure_sweep(direction, packet_sizes=args.packets,
+                          message_sizes=args.sizes)
+    print(format_series_table(curves, title=title))
+    print()
+    print(plot_series(curves, title=title))
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    return _figure(args, "b0->a0",
+                   "Figure 6: forwarding bandwidth, SCI -> Myrinet")
+
+
+def cmd_fig7(args) -> int:
+    return _figure(args, "a0->b0",
+                   "Figure 7: forwarding bandwidth, Myrinet -> SCI")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Madeleine inter-device forwarding reproduction (IPPS'01)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the calibrated protocol table") \
+        .set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("ping", help="one forwarding measurement (§3.1 method)")
+    p.add_argument("--direction", choices=["sci-to-myri", "myri-to-sci"],
+                   default="sci-to-myri")
+    p.add_argument("--size", type=_parse_size, default=4 << 20)
+    p.add_argument("--packet", type=_parse_size, default=64 << 10)
+    p.set_defaults(fn=cmd_ping)
+
+    p = sub.add_parser("raw", help="raw single-network bandwidth curve")
+    p.add_argument("--protocol", default="myrinet")
+    p.add_argument("--sizes", type=_parse_sizes,
+                   default=[(1 << k) << 10 for k in range(0, 13, 2)])
+    p.set_defaults(fn=cmd_raw)
+
+    for name, fn in (("fig6", cmd_fig6), ("fig7", cmd_fig7)):
+        p = sub.add_parser(name, help=f"regenerate {name} of the paper")
+        p.add_argument("--packets", type=_parse_sizes,
+                       default=list(PAPER_PACKET_SIZES))
+        p.add_argument("--sizes", type=_parse_sizes,
+                       default=list(PAPER_MESSAGE_SIZES))
+        p.set_defaults(fn=fn)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

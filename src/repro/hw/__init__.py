@@ -1,0 +1,28 @@
+"""Hardware models: PCI buses, NICs, links, nodes, cluster topologies.
+
+The paper's testbed is unavailable (2001-era Myrinet/SCI hardware), so this
+package models it: per-node PCI buses with DMA-over-PIO arbitration, per-NIC
+link resources, tag-matched rendezvous transfers, and calibrated protocol
+presets (:data:`MYRINET`, :data:`SCI`, :data:`FAST_ETHERNET`, :data:`SBP`,
+:data:`GIGABIT_TCP`).
+"""
+
+from .fabric import FRAGMENT_HEADER_BYTES, Fabric, NIC, TransferError
+from .node import Node
+from .params import (DEFAULT_GATEWAY, DEFAULT_NODE, DEFAULT_PCI,
+                     FAST_ETHERNET, GIGABIT_TCP, MYRINET, PROTOCOLS, SBP, SCI,
+                     GatewayParams, NodeParams, PCIParams, ProtocolParams,
+                     register_protocol, scaled)
+from .topology import (ClusterSpec, GatewayLink, World,
+                       build_cluster_of_clusters, build_world)
+
+__all__ = [
+    "FRAGMENT_HEADER_BYTES", "Fabric", "NIC", "TransferError",
+    "Node",
+    "DEFAULT_GATEWAY", "DEFAULT_NODE", "DEFAULT_PCI",
+    "FAST_ETHERNET", "GIGABIT_TCP", "MYRINET", "PROTOCOLS", "SBP", "SCI",
+    "GatewayParams", "NodeParams", "PCIParams", "ProtocolParams",
+    "register_protocol", "scaled",
+    "ClusterSpec", "GatewayLink", "World",
+    "build_cluster_of_clusters", "build_world",
+]

@@ -1,0 +1,260 @@
+"""NICs and the interconnect fabric.
+
+The fabric implements **tag-matched rendezvous transfers**: a receiver posts
+a buffer under a tag, a sender enqueues a fragment for that tag, and when the
+two meet the payload streams as a single fluid flow through
+
+    sender PCI  →  sender NIC link  →  receiver NIC link  →  receiver PCI
+
+with the per-hop transaction kinds (DMA/PIO) given by the protocol.  The
+rendezvous gives the same backpressure a real NIC's posted-receive discipline
+gives — this is what makes the gateway double-buffer pipeline's timing
+honest: the upstream sender cannot run ahead of the gateway's receive thread.
+
+Each NIC serializes its transmissions (one outstanding fragment per NIC),
+like the single DMA/PIO engine of the real hardware.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+from ..memory import Buffer, CopyAccounting, StaticBufferPool
+from ..sim import Event, FluidNetwork, FluidResource, Queue, Simulator, TraceRecorder
+from .node import Node
+from .params import ProtocolParams
+
+__all__ = ["NIC", "Fabric", "FRAGMENT_HEADER_BYTES", "TransferError",
+           "BufferSpec"]
+
+#: wire overhead per fragment (routing/self-description mini-header, §2.3).
+FRAGMENT_HEADER_BYTES = 16
+
+
+class TransferError(RuntimeError):
+    """Posted receive too small for the arriving fragment, or bad addressing."""
+
+
+#: payload/landing specs: nothing, one buffer, or a gather/scatter list of
+#: buffer views (the "single virtual piece of message" of §2.1.1).
+BufferSpec = Union[None, Buffer, Sequence[Buffer]]
+
+
+def _as_views(spec: BufferSpec) -> list[Buffer]:
+    if spec is None:
+        return []
+    if isinstance(spec, Buffer):
+        return [spec]
+    return list(spec)
+
+
+def _total_bytes(views: list[Buffer]) -> int:
+    return sum(len(v) for v in views)
+
+
+def _wire_deliver(srcs: list[Buffer], dsts: list[Buffer], nbytes: int) -> None:
+    """Move the payload across (gather from srcs, scatter into dsts).
+
+    This is the transfer itself — the NIC's (scatter/gather) DMA or the
+    CPU's PIO writes — so it is *not* a host memcpy and is not accounted.
+    """
+    si = di = 0
+    soff = doff = 0
+    remaining = nbytes
+    while remaining > 0:
+        s, d = srcs[si], dsts[di]
+        take = min(len(s) - soff, len(d) - doff, remaining)
+        d.data[doff:doff + take] = s.data[soff:soff + take]
+        soff += take
+        doff += take
+        remaining -= take
+        if soff >= len(s):
+            si += 1
+            soff = 0
+        if doff >= len(d):
+            di += 1
+            doff = 0
+
+
+@dataclass
+class _SendRequest:
+    dst: "NIC"
+    tag: Any
+    payload: list[Buffer]
+    nbytes: int
+    meta: dict[str, Any]
+    done: Event
+
+
+@dataclass
+class _RecvSlot:
+    buffer: list[Buffer]
+    capacity: int
+    done: Event
+
+
+@dataclass
+class _MatchPoint:
+    """Pending senders / posted receive slots for one (nic, tag)."""
+
+    slots: list[_RecvSlot] = field(default_factory=list)
+    senders: list[Event] = field(default_factory=list)  # waiting tx wakeups
+
+
+class NIC:
+    """One network adapter: a pair of link resources, optional static pools,
+    and a serializing transmit engine."""
+
+    _ids = itertools.count()
+
+    def __init__(self, fabric: "Fabric", node: Node,
+                 protocol: ProtocolParams, index: int = 0) -> None:
+        self.id = next(NIC._ids)
+        self.fabric = fabric
+        self.node = node
+        self.protocol = protocol
+        self.index = index
+        sim = fabric.sim
+        label = f"{node.name}.{protocol.name}{index}"
+        self.name = label
+        self.tx_link = FluidResource(f"link:{label}.tx", protocol.link_bandwidth)
+        self.rx_link = FluidResource(f"link:{label}.rx", protocol.link_bandwidth)
+        self.tx_pool = (StaticBufferPool(sim, protocol.pool_blocks,
+                                         protocol.max_mtu, f"{label}.txpool")
+                        if protocol.tx_static else None)
+        self.rx_pool = (StaticBufferPool(sim, protocol.pool_blocks,
+                                         protocol.max_mtu, f"{label}.rxpool")
+                        if protocol.rx_static else None)
+        self._txq: Queue = Queue(sim, name=f"{label}.txq")
+        sim.process(self._tx_engine(), name=f"nic:{label}")
+        node.nics[(protocol.name, index)] = self
+
+    # -- send side ------------------------------------------------------------
+    def send(self, dst: "NIC", tag: Any, payload: BufferSpec,
+             meta: Optional[dict[str, Any]] = None,
+             nbytes: Optional[int] = None) -> Event:
+        """Enqueue one fragment; the returned event triggers when the last
+        byte has left (and landed — rendezvous makes these simultaneous).
+
+        ``payload`` may be a list of buffer views: the NIC gathers them into
+        one wire fragment (scatter/gather capability, §2.1.1).
+        """
+        if dst.protocol.name != self.protocol.name:
+            raise TransferError(
+                f"cannot send from {self.name} to {dst.name}: different networks")
+        if dst is self:
+            raise TransferError(f"{self.name}: loopback sends are not modelled")
+        views = _as_views(payload)
+        size = _total_bytes(views) if (nbytes is None and views) else int(nbytes or 0)
+        req = _SendRequest(dst=dst, tag=tag, payload=views, nbytes=size,
+                           meta=dict(meta or {}), done=self.fabric.sim.event())
+        # Initiate the rendezvous immediately; the engine transmits requests
+        # in match-completion order.  Per-tag matching is FIFO, so in-order
+        # delivery per connection is preserved, while an unmatched fragment
+        # to one destination does not head-of-line-block traffic to other
+        # destinations (real NICs keep per-connection descriptor queues).
+        match_ev = self.fabric._match_sender(dst, tag)
+        match_ev.add_callback(
+            lambda ev, r=req: self._txq.put((r, ev.value)))
+        return req.done
+
+    def _tx_engine(self):
+        sim = self.fabric.sim
+        proto = self.protocol
+        while True:
+            req, slot = yield self._txq.get()
+            yield sim.timeout(proto.tx_overhead, name=f"{self.name}.txov")
+            if slot.capacity < req.nbytes:
+                exc = TransferError(
+                    f"{self.name} -> {req.dst.name} tag={req.tag!r}: fragment of "
+                    f"{req.nbytes}B exceeds posted receive of {slot.capacity}B")
+                slot.done.fail(exc)
+                req.done.fail(exc)
+                continue
+            yield sim.timeout(proto.latency, name=f"{self.name}.wire")
+            wire_bytes = req.nbytes + FRAGMENT_HEADER_BYTES
+            path = [
+                (self.node.pci, proto.tx_kind),
+                (self.tx_link, "dma"),
+                (req.dst.rx_link, "dma"),
+                (req.dst.node.pci, proto.rx_kind),
+            ]
+            t0 = sim.now
+            flow_done = self.fabric.fnet.transfer(
+                f"{self.name}->{req.dst.name}", wire_bytes, path,
+                peak=min(proto.host_peak, req.dst.protocol.host_peak))
+            yield flow_done
+            # The wire writes the payload into the posted buffer(s).  This
+            # is the transfer itself, not a host memcpy: not accounted.
+            if req.payload and slot.buffer and req.nbytes:
+                _wire_deliver(req.payload, slot.buffer, req.nbytes)
+            self.fabric.trace.emit(
+                sim.now, "xfer", "fragment",
+                src=self.name, dst=req.dst.name, proto=proto.name,
+                nbytes=req.nbytes, start=t0, tag=str(req.tag),
+                kind=req.meta.get("type"))
+            req.done.succeed(req.nbytes)
+            self.fabric._complete_recv(req.dst, slot, req)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<NIC {self.name}>"
+
+
+class Fabric:
+    """Holds the matching tables and shared simulation services."""
+
+    def __init__(self, sim: Simulator, fnet: FluidNetwork,
+                 trace: Optional[TraceRecorder] = None,
+                 accounting: Optional[CopyAccounting] = None) -> None:
+        self.sim = sim
+        self.fnet = fnet
+        # `is not None` matters: an empty TraceRecorder is falsy (__len__).
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.accounting = accounting if accounting is not None else CopyAccounting()
+        self._match: dict[tuple[int, Any], _MatchPoint] = {}
+
+    # -- receive side ---------------------------------------------------------
+    def post_recv(self, nic: NIC, tag: Any, buffer: BufferSpec = None,
+                  capacity: Optional[int] = None) -> Event:
+        """Post a receive under ``tag`` at ``nic``.
+
+        ``buffer`` is where payload lands: ``None`` for metadata-only
+        fragments, one buffer, or a scatter list of buffer views;
+        ``capacity`` defaults to the total buffer length.  The event
+        triggers with ``(meta, nbytes)`` after the fragment has fully arrived
+        (including the protocol's receive overhead).
+        """
+        views = _as_views(buffer)
+        cap = capacity if capacity is not None else _total_bytes(views)
+        slot = _RecvSlot(buffer=views, capacity=cap, done=self.sim.event())
+        point = self._match.setdefault((nic.id, tag), _MatchPoint())
+        # Handoff is synchronous so the slots/senders lists never hold both
+        # kinds at once (no lost-wakeup or double-grab races).
+        if point.senders:
+            point.senders.pop(0).succeed(slot)
+        else:
+            point.slots.append(slot)
+        return slot.done
+
+    # -- matching internals ---------------------------------------------------
+    def _match_sender(self, dst: NIC, tag: Any) -> Event:
+        """Event triggering with the matched :class:`_RecvSlot`."""
+        ev = self.sim.event()
+        point = self._match.setdefault((dst.id, tag), _MatchPoint())
+        if point.slots:
+            ev.succeed(point.slots.pop(0))
+        else:
+            point.senders.append(ev)
+        return ev
+
+    def _complete_recv(self, dst: NIC, slot: _RecvSlot, req: _SendRequest) -> None:
+        """Deliver the fragment to the receiver after its rx overhead."""
+        delay = self.sim.timeout(dst.protocol.rx_overhead,
+                                 name=f"{dst.name}.rxov")
+        delay.add_callback(lambda _ev: slot.done.succeed((req.meta, req.nbytes)))
+
+    def pending_sends(self, nic: NIC, tag: Any) -> int:
+        point = self._match.get((nic.id, tag))
+        return len(point.senders) if point else 0

@@ -1,0 +1,59 @@
+"""Host node model: PCI bus, memcpy engine, attached NICs."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..sim import FluidResource, Simulator
+from .params import NodeParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .fabric import NIC
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One machine of the configuration.
+
+    Every NIC transfer to/from this node crosses :attr:`pci`, a shared fluid
+    resource whose capacity reflects full-duplex arbitration losses and whose
+    ``preempt_slowdown`` penalizes PIO while DMA is active (see
+    :mod:`repro.hw.params`).
+    """
+
+    def __init__(self, sim: Simulator, rank: int, name: str,
+                 params: Optional[NodeParams] = None) -> None:
+        self.sim = sim
+        self.rank = rank
+        self.name = name
+        self.params = params or NodeParams()
+        self.pci = FluidResource(
+            f"pci:{name}",
+            capacity=self.params.pci.capacity,
+            preempt_slowdown=self.params.pci.pio_preempt_slowdown,
+        )
+        #: adapters attached to this node, keyed by (protocol, index).
+        self.nics: dict[tuple[str, int], "NIC"] = {}
+
+    def nic(self, protocol: str, index: int = 0) -> "NIC":
+        try:
+            return self.nics[(protocol, index)]
+        except KeyError:
+            raise KeyError(
+                f"node {self.name!r} has no {protocol!r} adapter #{index}"
+            ) from None
+
+    def has_protocol(self, protocol: str) -> bool:
+        return any(p == protocol for (p, _i) in self.nics)
+
+    def memcpy(self, nbytes: int) -> Generator:
+        """Simulation process step: the time cost of a host memcpy."""
+        yield self.sim.timeout(nbytes / self.params.memcpy_bandwidth,
+                               name=f"memcpy:{self.name}")
+
+    def memcpy_time(self, nbytes: int) -> float:
+        return nbytes / self.params.memcpy_bandwidth
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.rank}:{self.name} nics={sorted(self.nics)}>"

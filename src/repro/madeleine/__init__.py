@@ -1,0 +1,47 @@
+"""The Madeleine multi-device communication library, with the inter-device
+data-forwarding mechanism of the paper.
+
+Layering (Figure 1 + the paper's extension):
+
+* :mod:`~repro.madeleine.tm` — Transmission Modules (protocol-facing);
+* :mod:`~repro.madeleine.bmm` — Buffer Management Modules (dynamic eager /
+  static chunked);
+* :mod:`~repro.madeleine.channel` — regular channels and endpoints;
+* :mod:`~repro.madeleine.message` — the ``mad_pack``/``mad_unpack`` interface;
+* :mod:`~repro.madeleine.gtm` — the Generic Transmission Module
+  (self-described, MTU-fragmented messages for heterogeneous routes);
+* :mod:`~repro.madeleine.vchannel` — virtual channels (regular + special
+  twins, routing, transparency);
+* :mod:`~repro.madeleine.gateway` — the double-buffered forwarding pipeline;
+* :mod:`~repro.madeleine.session` — the user entry point.
+"""
+
+from .bmm import UnpackMismatch, split_fragments
+from .channel import Endpoint, RealChannel
+from .flags import (RECV_CHEAPER, RECV_EXPRESS, SEND_CHEAPER, SEND_LATER,
+                    SEND_SAFER, RecvMode, SendMode, validate_modes)
+from .gateway import ForwardingWorker, GatewayError
+from .gtm import GTMIncoming, GTMOutgoing
+from .helpers import recv_arrays, recv_message_into, send_arrays
+from .message import IncomingMessage, MessageStateError, OutgoingMessage
+from .session import Session
+from .vchannel import DEFAULT_PACKET_SIZE, VChannelEndpoint, VirtualChannel
+from .wire import (ANNOUNCE_BYTES, DESC_BYTES, MODE_GTM, MODE_REGULAR,
+                   Announce, Descriptor, decode_announce, decode_descriptor,
+                   encode_announce, encode_descriptor)
+
+__all__ = [
+    "UnpackMismatch", "split_fragments",
+    "Endpoint", "RealChannel",
+    "RECV_CHEAPER", "RECV_EXPRESS", "SEND_CHEAPER", "SEND_LATER",
+    "SEND_SAFER", "RecvMode", "SendMode", "validate_modes",
+    "ForwardingWorker", "GatewayError",
+    "GTMIncoming", "GTMOutgoing",
+    "recv_arrays", "recv_message_into", "send_arrays",
+    "IncomingMessage", "MessageStateError", "OutgoingMessage",
+    "Session",
+    "DEFAULT_PACKET_SIZE", "VChannelEndpoint", "VirtualChannel",
+    "ANNOUNCE_BYTES", "DESC_BYTES", "MODE_GTM", "MODE_REGULAR",
+    "Announce", "Descriptor", "decode_announce", "decode_descriptor",
+    "encode_announce", "encode_descriptor",
+]

@@ -1,0 +1,130 @@
+"""Channels and channel endpoints.
+
+A *channel* is a closed communication world bound to one network protocol
+and one adapter per member node (§2.1.2): in-order delivery is guaranteed
+for point-to-point connections within a channel.  Every member rank owns an
+:class:`Endpoint` holding its Transmission Module and an announce listener —
+the message-handler thread that Madeleine runs per channel.
+
+Channels created with ``special=True`` are the forwarding-only twins that
+virtual channels add per network device (§2.2.2, Figure 3): gateways listen
+on them, applications never do.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..hw.topology import World
+from ..memory import Buffer
+from ..sim import Event, Mutex, Queue
+from .message import IncomingMessage, OutgoingMessage
+from .tm import TransmissionModule
+from .wire import ANNOUNCE_BYTES, Announce, decode_announce
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["RealChannel", "Endpoint"]
+
+_channel_seq = itertools.count()
+
+
+class Endpoint:
+    """One rank's attachment to a channel."""
+
+    def __init__(self, channel: "RealChannel", rank: int) -> None:
+        self.channel = channel
+        self.rank = rank
+        self.node = channel.world.nodes[rank]
+        nic = self.node.nic(channel.protocol.name, channel.adapter_index)
+        self.tm = TransmissionModule(channel, rank, nic)
+        #: (Announce, hop_src) pairs, in arrival order.
+        self.incoming: Queue = Queue(channel.sim,
+                                     name=f"{channel.id}@{rank}.in")
+        #: per-destination connection locks: a Madeleine connection carries
+        #: one message at a time, so every sender (application message or
+        #: gateway forwarding worker) holds the lock for the whole message.
+        self._conn_locks: dict[int, Mutex] = {}
+        channel.sim.process(self._listener(), name=f"listen:{channel.id}@{rank}")
+
+    def connection_lock(self, dst: int) -> Mutex:
+        if dst not in self._conn_locks:
+            self._conn_locks[dst] = Mutex(
+                self.channel.sim, name=f"{self.channel.id}:{self.rank}->{dst}")
+        return self._conn_locks[dst]
+
+    def _listener(self):
+        """Repost an announce slot forever; queue each arriving announce."""
+        while True:
+            buf = Buffer.alloc(ANNOUNCE_BYTES, label="announce.rx")
+            meta, _n = yield self.tm.post_announce(buf)
+            announce = decode_announce(buf.tobytes())
+            yield self.incoming.put((announce, meta["hop_src"]))
+
+    # -- the user-facing interface ---------------------------------------------
+    def begin_packing(self, dst: int) -> OutgoingMessage:
+        """``mad_begin_packing``: start a message to ``dst``."""
+        return OutgoingMessage(self, dst)
+
+    def begin_unpacking(self) -> Event:
+        """``mad_begin_unpacking``: event yielding the next
+        :class:`IncomingMessage` on this channel."""
+        out = self.channel.sim.event()
+        got = self.incoming.get()
+
+        def build(ev: Event) -> None:
+            announce, hop_src = ev.value
+            out.succeed(IncomingMessage(self, announce, hop_src))
+
+        got.add_callback(build)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Endpoint {self.channel.id}@{self.rank}>"
+
+
+class RealChannel:
+    """A protocol-bound channel over a set of member ranks."""
+
+    def __init__(self, world: World, protocol_name: str,
+                 members: Sequence[int], name: Optional[str] = None,
+                 adapter_index: int = 0, special: bool = False) -> None:
+        from ..hw.params import PROTOCOLS
+        if len(set(members)) != len(members):
+            raise ValueError("duplicate ranks in channel membership")
+        if len(members) < 2:
+            raise ValueError("a channel needs at least two members")
+        self.world = world
+        self.sim = world.sim
+        self.fabric = world.fabric
+        self.protocol = PROTOCOLS[protocol_name]
+        self.members = tuple(members)
+        self.adapter_index = adapter_index
+        self.special = special
+        seq = next(_channel_seq)
+        self.id = name or f"ch{seq}:{protocol_name}{'!fwd' if special else ''}"
+        for rank in members:
+            node = world.nodes.get(rank)
+            if node is None:
+                raise ValueError(f"unknown rank {rank}")
+            if not node.has_protocol(protocol_name):
+                raise ValueError(
+                    f"node {node.name!r} has no {protocol_name!r} adapter")
+        self.endpoints: dict[int, Endpoint] = {
+            rank: Endpoint(self, rank) for rank in members
+        }
+
+    def endpoint(self, rank: int) -> Endpoint:
+        try:
+            return self.endpoints[rank]
+        except KeyError:
+            raise KeyError(f"rank {rank} is not a member of {self.id!r}") from None
+
+    def tm(self, rank: int) -> TransmissionModule:
+        return self.endpoint(rank).tm
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "special" if self.special else "regular"
+        return f"<RealChannel {self.id} ({kind}) members={self.members}>"

@@ -1,0 +1,66 @@
+"""Madeleine pack/unpack semantics flags.
+
+``mad_pack``/``mad_unpack`` take a pair of flags describing *when* the
+library may move the data and *when* the user may reuse/inspect the buffer
+(Madeleine II interface; see [1] in the paper):
+
+Send modes
+  * ``SEND_SAFER`` — the library copies the data immediately; the user may
+    modify the buffer as soon as ``pack`` returns.
+  * ``SEND_LATER`` — the library reads the buffer only at ``end_packing``
+    time; the user may modify it up to that point.
+  * ``SEND_CHEAPER`` — the library chooses the cheapest strategy for the
+    underlying network (the default); the buffer must stay untouched until
+    ``end_packing``.
+
+Receive modes
+  * ``RECV_EXPRESS`` — the data is guaranteed available when ``unpack``
+    returns; mandatory for data that the application needs in order to
+    interpret the rest of the message.
+  * ``RECV_CHEAPER`` — the data is only guaranteed after ``end_unpacking``;
+    lets the library pick the cheapest strategy.
+
+The combination ``SEND_LATER`` + ``RECV_EXPRESS`` is contradictory (the
+receiver would wait for data the sender has not agreed to emit yet) and is
+rejected, as in Madeleine.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "SendMode", "RecvMode",
+    "SEND_SAFER", "SEND_LATER", "SEND_CHEAPER",
+    "RECV_EXPRESS", "RECV_CHEAPER",
+    "validate_modes",
+]
+
+
+class SendMode(enum.IntEnum):
+    SAFER = 0
+    LATER = 1
+    CHEAPER = 2
+
+
+class RecvMode(enum.IntEnum):
+    EXPRESS = 0
+    CHEAPER = 1
+
+
+SEND_SAFER = SendMode.SAFER
+SEND_LATER = SendMode.LATER
+SEND_CHEAPER = SendMode.CHEAPER
+
+RECV_EXPRESS = RecvMode.EXPRESS
+RECV_CHEAPER = RecvMode.CHEAPER
+
+
+def validate_modes(smode: SendMode, rmode: RecvMode) -> None:
+    """Reject contradictory flag pairs."""
+    smode = SendMode(smode)
+    rmode = RecvMode(rmode)
+    if smode == SendMode.LATER and rmode == RecvMode.EXPRESS:
+        raise ValueError(
+            "send_LATER data cannot be received EXPRESS: the sender may "
+            "delay emission until end_packing")

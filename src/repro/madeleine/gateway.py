@@ -1,0 +1,283 @@
+"""Gateway forwarding engine (§2.2.2, Figure 4).
+
+For every (gateway rank × incoming special channel) a :class:`ForwardingWorker`
+runs two cooperating threads per message:
+
+* the **receive thread** posts a staging buffer, receives the next item
+  (descriptor or MTU-sized fragment), and hands the buffer over;
+* the **send thread** retransmits each item toward the next hop and recycles
+  the buffer.
+
+Two pipeline disciplines are implemented (``GatewayParams.lockstep``):
+
+* **lockstep** (default — the paper's design): the threads share two buffers
+  and exchange them at a synchronization point each step, paying the
+  buffer-switch software overhead (≈ 40 µs measured in §3.3.1) *on the
+  critical path*: steady-state period = max(recv, send) + overhead, exactly
+  the Figure 5 model;
+* **decoupled** (ablation): a bounded queue of ``pipeline_depth`` buffers
+  lets the receive thread run ahead, hiding the switch overhead behind the
+  longer step.
+
+Staging-buffer choice implements the zero-copy rules of §2.3:
+
+* incoming network uses static receive buffers → land there (its rx pool);
+* else if the outgoing network needs static send buffers → *borrow* a block
+  from the outgoing TM's tx pool and receive straight into it;
+* else use the worker's own recycled dynamic buffers.
+
+Only when **both** networks require static buffers is a (serial, charged)
+copy performed between the landing block and an outgoing block — the one
+unavoidable copy the paper concedes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+from ..hw.params import GatewayParams
+from ..memory import Buffer, StaticBufferPool
+from ..sim import Barrier, Queue, Semaphore
+from .wire import DESC_BYTES, MODE_GTM, Announce, decode_descriptor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .channel import RealChannel
+    from .tm import TransmissionModule
+    from .vchannel import VirtualChannel
+
+__all__ = ["ForwardingWorker", "GatewayError"]
+
+
+class GatewayError(RuntimeError):
+    """Protocol violation observed by a forwarding worker."""
+
+
+@dataclass
+class _Item:
+    meta: dict
+    staging: Buffer
+    pool: Optional[StaticBufferPool]
+    nbytes: int
+    seq: int
+    last: bool
+
+
+class ForwardingWorker:
+    """Forwards GTM messages arriving on one special channel at one gateway."""
+
+    _ids = itertools.count()
+
+    def __init__(self, vchannel: "VirtualChannel", gw_rank: int,
+                 in_channel: "RealChannel",
+                 params: Optional[GatewayParams] = None) -> None:
+        self.id = next(ForwardingWorker._ids)
+        self.vchannel = vchannel
+        self.gw_rank = gw_rank
+        self.in_channel = in_channel
+        self.params = params or GatewayParams()
+        self.sim = in_channel.sim
+        self.node = in_channel.world.nodes[gw_rank]
+        self.trace = in_channel.fabric.trace
+        self.accounting = in_channel.fabric.accounting
+        self._free_dynamic: list[Buffer] = []
+        self._seq = itertools.count()
+        self._ingress_next = 0.0   # earliest instant the regulator allows
+        self.messages_forwarded = 0
+        self.process = self.sim.process(
+            self._main_loop(), name=f"gwR:{gw_rank}:{in_channel.id}")
+
+    # -- staging buffers ---------------------------------------------------------
+    def _acquire_staging(self, in_tm: "TransmissionModule",
+                         out_tm: "TransmissionModule", mtu: int):
+        """Yields; returns (buffer, pool-or-None) per the zero-copy rules."""
+        if in_tm.protocol.rx_static:
+            block = yield in_tm.rx_pool.acquire()
+            return block, in_tm.rx_pool
+        if out_tm.protocol.tx_static:
+            block = yield out_tm.tx_pool.acquire()
+            return block, out_tm.tx_pool
+        if self._free_dynamic:
+            return self._free_dynamic.pop(), None
+        size = max(mtu, DESC_BYTES)
+        return Buffer.alloc(size, label=f"gw{self.gw_rank}.staging"), None
+
+    def _release_staging(self, buffer: Buffer,
+                         pool: Optional[StaticBufferPool]) -> None:
+        if pool is not None:
+            pool.release(buffer)
+        else:
+            self._free_dynamic.append(buffer)
+
+    # -- per-message dispatch ------------------------------------------------------
+    def _main_loop(self):
+        ep = self.in_channel.endpoint(self.gw_rank)
+        sim = self.sim
+        while True:
+            announce, hop_src = yield ep.incoming.get()
+            if announce.mode != MODE_GTM:
+                raise GatewayError(
+                    f"non-GTM announce on special channel {self.in_channel.id!r}")
+            if announce.hops_left < 1:
+                raise GatewayError(
+                    f"announce for {announce.final_dst} reached gateway "
+                    f"{self.gw_rank} with no hops left")
+            hop = self.vchannel.routes.next_hop(self.gw_rank, announce.final_dst)
+            final = hop.dst == announce.final_dst
+            # Back to the regular channel once past the last gateway (§2.2.2).
+            out_channel = (hop.channel if final
+                           else self.vchannel.special_twin(hop.channel))
+            out_tm = out_channel.tm(self.gw_rank)
+            in_tm = self.in_channel.tm(self.gw_rank)
+            # The forwarded message owns the outgoing connection for its
+            # whole duration — another worker (or the gateway's own
+            # application traffic) must not interleave fragments on it.
+            out_lock = out_channel.endpoint(self.gw_rank).connection_lock(hop.dst)
+            yield out_lock.acquire()
+            fwd = replace(announce, hops_left=announce.hops_left - 1)
+            yield out_tm.send_announce(hop.dst, fwd)
+            self.trace.emit(sim.now, "gateway", "message_start",
+                            gw=self.gw_rank, msg=announce.msg_id,
+                            origin=announce.origin, dst=announce.final_dst,
+                            route=f"{in_tm.protocol.name}->{out_tm.protocol.name}")
+            # Lockstep is inherently a two-buffer scheme; other depths run
+            # through the decoupled queue (depth 1 = store-and-forward per
+            # fragment).
+            if self.params.lockstep and self.params.pipeline_depth == 2:
+                yield from self._pipeline_lockstep(
+                    in_tm, out_tm, hop.dst, hop_src, announce)
+            else:
+                yield from self._pipeline_decoupled(
+                    in_tm, out_tm, hop.dst, hop_src, announce)
+            out_lock.release()
+            self.messages_forwarded += 1
+            self.trace.emit(sim.now, "gateway", "message_end",
+                            gw=self.gw_rank, msg=announce.msg_id)
+
+    # -- one received item -----------------------------------------------------------
+    def _receive_item(self, in_tm: "TransmissionModule",
+                      out_tm: "TransmissionModule", hop_src: int,
+                      announce: Announce):
+        """Yields; returns the received :class:`_Item`."""
+        staging, pool = yield from self._acquire_staging(
+            in_tm, out_tm, announce.mtu)
+        # §4 future work: regulate the incoming flow — delay the next posted
+        # receive so the accepted ingress rate stays under the limit.
+        limit = self.params.ingress_limit
+        if limit is not None and self._ingress_next > self.sim.now:
+            yield self.sim.timeout(self._ingress_next - self.sim.now,
+                                   name=f"gw{self.gw_rank}.regulate")
+        seq = next(self._seq)
+        t0 = self.sim.now
+        meta, n = yield in_tm.post_item(hop_src, staging,
+                                        capacity=len(staging))
+        if limit is not None:
+            self._ingress_next = self.sim.now + max(0.0, n / limit
+                                                    - (self.sim.now - t0))
+        self.trace.emit(self.sim.now, "gateway", "recv",
+                        gw=self.gw_rank, msg=announce.msg_id, seq=seq,
+                        nbytes=n, start=t0, kind=meta.get("type"))
+        last = (meta.get("type") == "desc" and
+                decode_descriptor(staging.view(0, DESC_BYTES).tobytes())
+                .is_terminator)
+        return _Item(meta=meta, staging=staging, pool=pool, nbytes=n,
+                     seq=seq, last=last)
+
+    # -- one retransmitted item ---------------------------------------------------------
+    def _transmit_item(self, item: _Item, in_tm: "TransmissionModule",
+                       out_tm: "TransmissionModule", next_rank: int,
+                       announce: Announce):
+        sim = self.sim
+        both_static = in_tm.protocol.rx_static and out_tm.protocol.tx_static
+        t0 = sim.now
+        if both_static and item.nbytes > 0:
+            # The unavoidable copy of §2.3: landing block -> send block,
+            # serial and charged at host memcpy speed.
+            out_block = yield out_tm.tx_pool.acquire()
+            yield from self.node.memcpy(item.nbytes)
+            out_block.view(0, item.nbytes).copy_from(
+                item.staging.view(0, item.nbytes), self.accounting, sim.now,
+                "gateway.static_copy")
+            self._release_staging(item.staging, item.pool)
+            yield out_tm.send_item(next_rank, out_block.view(0, item.nbytes),
+                                   meta=dict(item.meta))
+            out_tm.tx_pool.release(out_block)
+        else:
+            yield out_tm.send_item(next_rank,
+                                   item.staging.view(0, item.nbytes),
+                                   meta=dict(item.meta), nbytes=item.nbytes)
+            self._release_staging(item.staging, item.pool)
+        self.trace.emit(sim.now, "gateway", "send",
+                        gw=self.gw_rank, msg=announce.msg_id, seq=item.seq,
+                        nbytes=item.nbytes, start=t0, kind=item.meta.get("type"))
+
+    # -- the paper's lockstep double-buffer pipeline (Figures 4/5) ------------------------
+    def _pipeline_lockstep(self, in_tm, out_tm, next_rank, hop_src, announce):
+        sim = self.sim
+        barrier = Barrier(sim, 2, name=f"gw{self.gw_rank}.swap")
+        handoff = Queue(sim, capacity=1, name=f"gw{self.gw_rank}.handoff")
+        sender = sim.process(
+            self._lockstep_sender(handoff, barrier, in_tm, out_tm,
+                                  next_rank, announce),
+            name=f"gwS:{self.gw_rank}:{self.in_channel.id}")
+        while True:
+            item = yield from self._receive_item(in_tm, out_tm, hop_src,
+                                                 announce)
+            # Both threads meet, then exchange their buffers: the switch
+            # overhead sits on the critical path (§3.3.1).
+            yield barrier.wait()
+            yield sim.timeout(self.params.switch_overhead,
+                              name=f"gw{self.gw_rank}.swap")
+            self.trace.emit(sim.now, "gateway", "swap",
+                            gw=self.gw_rank, msg=announce.msg_id, seq=item.seq)
+            yield handoff.put(item)
+            if item.last:
+                break
+        yield sender   # drain: the terminator must leave before the next message
+
+    def _lockstep_sender(self, handoff, barrier, in_tm, out_tm, next_rank,
+                         announce):
+        # Round 0: nothing to send yet, just meet the receive thread.
+        yield barrier.wait()
+        while True:
+            item = yield handoff.get()
+            yield from self._transmit_item(item, in_tm, out_tm, next_rank,
+                                           announce)
+            if item.last:
+                return
+            yield barrier.wait()
+
+    # -- the decoupled bounded-queue pipeline (ablation) -----------------------------------
+    def _pipeline_decoupled(self, in_tm, out_tm, next_rank, hop_src, announce):
+        sim = self.sim
+        depth = self.params.pipeline_depth
+        gate = Semaphore(sim, depth, name=f"gw{self.gw_rank}.gate")
+        handoff = Queue(sim, capacity=max(1, depth - 1),
+                        name=f"gw{self.gw_rank}.handoff")
+        sender = sim.process(
+            self._decoupled_sender(handoff, gate, in_tm, out_tm, next_rank,
+                                   announce),
+            name=f"gwS:{self.gw_rank}:{self.in_channel.id}")
+        while True:
+            yield gate.acquire()
+            item = yield from self._receive_item(in_tm, out_tm, hop_src,
+                                                 announce)
+            yield sim.timeout(self.params.switch_overhead,
+                              name=f"gw{self.gw_rank}.swap")
+            self.trace.emit(sim.now, "gateway", "swap",
+                            gw=self.gw_rank, msg=announce.msg_id, seq=item.seq)
+            yield handoff.put(item)
+            if item.last:
+                break
+        yield sender
+
+    def _decoupled_sender(self, handoff, gate, in_tm, out_tm, next_rank,
+                          announce):
+        while True:
+            item = yield handoff.get()
+            yield from self._transmit_item(item, in_tm, out_tm, next_rank,
+                                           announce)
+            gate.release()
+            if item.last:
+                return

@@ -1,0 +1,233 @@
+"""The Generic Transmission Module (§2.2.2, §2.3).
+
+Messages that travel across at least two different networks bypass the
+regular per-protocol BMMs: both the origin and the final receiver use the
+GTM, which guarantees that the data is grouped identically on both ends
+(no ungroup/regroup cost at gateways) and adds the self-description the
+gateways need.
+
+Wire protocol per message (§2.3):
+
+1. announce carrying (mode=GTM, origin, final destination, MTU, msg id);
+2. per packed buffer: a 16-byte descriptor record (length + emission and
+   reception constraints), then the buffer fragmented into MTU-sized pieces;
+3. an empty descriptor terminating the message.
+
+Zero-copy rules at the endpoints: on dynamic-buffer protocols fragments are
+views of user memory; on static-buffer protocols the origin stages each
+fragment in a protocol block (accounted, overlapped — see EXPERIMENTS.md)
+and the final receiver copies out of the landing block.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from ..memory import Buffer
+from ..sim import Event
+from .bmm import UnpackMismatch, split_fragments
+from .flags import RecvMode, SendMode, validate_modes
+from .message import _ExecutorMixin, _as_buffer
+from .wire import (DESC_BYTES, MODE_GTM, Announce, Descriptor,
+                   decode_descriptor, encode_descriptor)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .channel import Endpoint
+    from .tm import TransmissionModule
+    from .vchannel import VirtualChannel
+
+__all__ = ["GTMOutgoing", "GTMIncoming"]
+
+_msg_ids = itertools.count(1 << 20)   # disjoint from regular message ids
+
+
+class GTMOutgoing(_ExecutorMixin):
+    """Packs a message onto the first hop of a multi-network route."""
+
+    def __init__(self, vchannel: "VirtualChannel", src: int, dst: int,
+                 route=None) -> None:
+        route = route if route is not None else vchannel.routes.route(src, dst)
+        if len(route) < 2:
+            raise ValueError("GTM is only used for forwarded messages")
+        self.vchannel = vchannel
+        self.src = src
+        self.dst = dst
+        from ..routing import negotiate_mtu
+        self.mtu = negotiate_mtu(route, vchannel.packet_size)
+        hop0 = route[0]
+        # First hop always targets a gateway: use the special channel.
+        wire_channel = vchannel.special_twin(hop0.channel)
+        self.tm: "TransmissionModule" = wire_channel.tm(src)
+        self.hop_dst = hop0.dst
+        self.msg_id = next(_msg_ids)
+        self.accounting = self.tm.channel.fabric.accounting
+        self._send_events: list[Event] = []
+        self._deferred: list[tuple[Buffer, RecvMode]] = []
+        self._init_executor(self.tm.channel.sim, f"gtm-out:{self.msg_id}")
+        # One in-flight message per (first-hop) connection, as in Madeleine.
+        lock = wire_channel.endpoint(src).connection_lock(hop0.dst)
+        self._finished.add_callback(lambda _ev: lock.release())
+        announce = Announce(mode=MODE_GTM, origin=src, final_dst=dst,
+                            mtu=self.mtu, msg_id=self.msg_id,
+                            hops_left=len(route) - 1)
+        self._submit(self._announce_op(lock, announce))
+
+    def _announce_op(self, lock, announce: Announce):
+        yield lock.acquire()
+        yield self.tm.send_announce(self.hop_dst, announce)
+
+    # -- public interface (mirrors OutgoingMessage) ----------------------------
+    def pack(self, data, smode: SendMode = SendMode.CHEAPER,
+             rmode: RecvMode = RecvMode.CHEAPER) -> Event:
+        buf = _as_buffer(data)
+        return self._submit(self._op_pack(buf, SendMode(smode), RecvMode(rmode)))
+
+    def end_packing(self) -> Event:
+        return self._submit_final(self._op_finalize())
+
+    # -- ops ---------------------------------------------------------------------
+    def _op_pack(self, buf: Buffer, smode: SendMode, rmode: RecvMode):
+        validate_modes(smode, rmode)
+        if smode == SendMode.LATER:
+            self._deferred.append((buf, rmode))
+            return
+        yield from self._emit(buf, smode, rmode)
+
+    def _emit(self, buf: Buffer, smode: SendMode, rmode: RecvMode):
+        desc = Descriptor(length=len(buf), smode=smode, rmode=rmode)
+        self._send_events.append(self.tm.send_item(
+            self.hop_dst, Buffer.wrap(encode_descriptor(desc)),
+            meta={"type": "desc"}))
+        if smode == SendMode.SAFER and not self.tm.protocol.tx_static:
+            shadow = Buffer.alloc(len(buf), label="gtm.safer")
+            shadow.copy_from(buf, self.accounting, self.sim.now, "gtm.safer")
+            buf = shadow
+        for off, size in split_fragments(len(buf), self.mtu):
+            if self.tm.protocol.tx_static:
+                block = yield self.tm.tx_pool.acquire()
+                block.view(0, size).copy_from(
+                    buf.view(off, off + size), self.accounting,
+                    self.sim.now, "gtm.stage")
+                ev = self.tm.send_item(self.hop_dst, block.view(0, size),
+                                       meta={"type": "frag"})
+                pool = self.tm.tx_pool
+                ev.add_callback(lambda _e, b=block: pool.release(b))
+            else:
+                ev = self.tm.send_item(self.hop_dst, buf.view(off, off + size),
+                                       meta={"type": "frag"})
+            self._send_events.append(ev)
+
+    def _op_finalize(self):
+        for buf, rmode in self._deferred:
+            yield from self._emit(buf, SendMode.CHEAPER, rmode)
+        self._deferred.clear()
+        terminator = Descriptor(length=0, terminator=True)
+        self._send_events.append(self.tm.send_item(
+            self.hop_dst, Buffer.wrap(encode_descriptor(terminator)),
+            meta={"type": "desc"}))
+        yield self.sim.all_of(self._send_events)
+        self._send_events.clear()
+
+
+class GTMIncoming(_ExecutorMixin):
+    """Unpacks a forwarded message at its final receiver.
+
+    The message arrives on a *regular* channel (the last gateway switches
+    back to it, §2.2.2); the announce's GTM mode told the endpoint to build
+    this class instead of :class:`~repro.madeleine.message.IncomingMessage`.
+    """
+
+    def __init__(self, endpoint: "Endpoint", announce: Announce,
+                 hop_src: int) -> None:
+        if announce.mode != MODE_GTM:
+            raise ValueError("announce is not a GTM announce")
+        self.endpoint = endpoint
+        self.announce = announce
+        self.origin = announce.origin
+        self.hop_src = hop_src
+        self.mtu = announce.mtu
+        self.msg_id = announce.msg_id
+        self.tm = endpoint.tm
+        self.accounting = self.tm.channel.fabric.accounting
+        self._deferred: list[Buffer] = []
+        self._init_executor(self.tm.channel.sim, f"gtm-in:{self.msg_id}")
+
+    # -- public interface ----------------------------------------------------
+    def unpack(self, nbytes: Optional[int] = None,
+               smode: SendMode = SendMode.CHEAPER,
+               rmode: RecvMode = RecvMode.CHEAPER,
+               into: Optional[Buffer] = None) -> tuple[Event, Buffer]:
+        if into is None:
+            if nbytes is None:
+                raise ValueError("unpack needs nbytes or a destination buffer")
+            into = Buffer.alloc(nbytes, label="gtm.unpack")
+        elif nbytes is not None and nbytes != len(into):
+            raise ValueError("nbytes disagrees with destination buffer size")
+        ev = self._submit(self._op_unpack(into, SendMode(smode),
+                                          RecvMode(rmode)))
+        return ev, into
+
+    def end_unpacking(self) -> Event:
+        return self._submit_final(self._op_finalize())
+
+    # -- ops --------------------------------------------------------------------
+    def _op_unpack(self, buf: Buffer, smode: SendMode, rmode: RecvMode):
+        validate_modes(smode, rmode)
+        if smode == SendMode.LATER:
+            self._deferred.append(buf)
+            return
+        yield from self._consume(buf)
+
+    def _consume(self, buf: Buffer):
+        desc = yield from self._recv_desc()
+        if desc.length != len(buf):
+            raise UnpackMismatch(
+                f"descriptor announces {desc.length}B but unpack expects "
+                f"{len(buf)}B")
+        for off, size in split_fragments(desc.length, self.mtu):
+            if self.tm.protocol.rx_static:
+                block = yield self.tm.rx_pool.acquire()
+                meta, n = yield self.tm.post_item(self.hop_src, block)
+                self._expect(meta, n, "frag", size)
+                buf.view(off, off + size).copy_from(
+                    block.view(0, size), self.accounting, self.sim.now,
+                    "gtm.deliver")
+                self.tm.rx_pool.release(block)
+            else:
+                meta, n = yield self.tm.post_item(
+                    self.hop_src, buf.view(off, off + size))
+                self._expect(meta, n, "frag", size)
+
+    def _recv_desc(self):
+        if self.tm.protocol.rx_static:
+            block = yield self.tm.rx_pool.acquire()
+            meta, n = yield self.tm.post_item(self.hop_src, block)
+            self._expect(meta, n, "desc", DESC_BYTES)
+            desc = decode_descriptor(block.view(0, DESC_BYTES).tobytes())
+            self.tm.rx_pool.release(block)
+        else:
+            dbuf = Buffer.alloc(DESC_BYTES, label="gtm.desc")
+            meta, n = yield self.tm.post_item(self.hop_src, dbuf)
+            self._expect(meta, n, "desc", DESC_BYTES)
+            desc = decode_descriptor(dbuf.tobytes())
+        return desc
+
+    @staticmethod
+    def _expect(meta: dict, n: int, wanted_type: str, wanted_size: int) -> None:
+        if meta.get("type") != wanted_type:
+            raise UnpackMismatch(
+                f"expected a {wanted_type!r} item, got {meta.get('type')!r} — "
+                f"unpack sequence does not mirror the pack sequence")
+        if n != wanted_size:
+            raise UnpackMismatch(
+                f"expected {wanted_size}B {wanted_type}, received {n}B")
+
+    def _op_finalize(self):
+        for buf in self._deferred:
+            yield from self._consume(buf)
+        self._deferred.clear()
+        desc = yield from self._recv_desc()
+        if not desc.is_terminator:
+            raise UnpackMismatch(
+                f"message carries {desc.length}B more data than was unpacked")

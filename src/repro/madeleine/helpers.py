@@ -1,0 +1,58 @@
+"""Convenience helpers over the raw pack/unpack interface.
+
+The Madeleine API is deliberately low-level (incremental packing with
+explicit flags); these generators cover the common whole-message cases so
+applications and tests stay short::
+
+    yield from send_arrays(vch.endpoint(src), dst, header, body)
+    bufs = yield from recv_arrays(vch.endpoint(dst), len(header), len(body))
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Union
+
+import numpy as np
+
+from ..memory import Buffer
+from .flags import RecvMode, SendMode
+
+__all__ = ["send_arrays", "recv_arrays", "recv_message_into"]
+
+Payload = Union[Buffer, bytes, bytearray, np.ndarray]
+
+
+def send_arrays(endpoint, dst: int, *arrays: Payload,
+                smode: SendMode = SendMode.CHEAPER,
+                rmode: RecvMode = RecvMode.CHEAPER) -> Generator:
+    """Pack ``arrays`` into one message to ``dst`` and flush it."""
+    msg = endpoint.begin_packing(dst)
+    for arr in arrays:
+        msg.pack(arr, smode, rmode)
+    yield msg.end_packing()
+
+
+def recv_arrays(endpoint, *sizes: int,
+                smode: SendMode = SendMode.CHEAPER,
+                rmode: RecvMode = RecvMode.CHEAPER) -> Generator:
+    """Receive one message of ``len(sizes)`` blocks; returns
+    ``(origin, [Buffer, ...])``."""
+    incoming = yield endpoint.begin_unpacking()
+    bufs = []
+    for n in sizes:
+        _ev, buf = incoming.unpack(n, smode, rmode)
+        bufs.append(buf)
+    yield incoming.end_unpacking()
+    return incoming.origin, bufs
+
+
+def recv_message_into(endpoint, *buffers: Buffer,
+                      smode: SendMode = SendMode.CHEAPER,
+                      rmode: RecvMode = RecvMode.CHEAPER) -> Generator:
+    """Receive one message directly into caller-owned buffers; returns the
+    origin rank."""
+    incoming = yield endpoint.begin_unpacking()
+    for buf in buffers:
+        incoming.unpack(into=buf, smode=smode, rmode=rmode)
+    yield incoming.end_unpacking()
+    return incoming.origin

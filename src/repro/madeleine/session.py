@@ -1,0 +1,90 @@
+"""Session management: the top-level user entry point.
+
+A :class:`Session` owns a :class:`~repro.hw.topology.World` and the channels
+created over it, and runs application processes.  Typical use::
+
+    from repro.hw import build_world
+    from repro.madeleine import Session
+
+    world = build_world({"m0": ["myrinet"], "gw": ["myrinet", "sci"],
+                         "s0": ["sci"]})
+    session = Session(world)
+    myri = session.channel("myrinet", ["m0", "gw"])
+    sci = session.channel("sci", ["gw", "s0"])
+    vch = session.virtual_channel([myri, sci], packet_size=64 << 10)
+
+    def app_sender():
+        msg = vch.endpoint(session.rank("m0")).begin_packing(session.rank("s0"))
+        yield msg.pack(payload)
+        yield msg.end_packing()
+
+    session.spawn(app_sender())
+    session.run()
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence, Union
+
+from ..hw.params import GatewayParams
+from ..hw.topology import World
+from ..sim import Event, Process
+from .channel import RealChannel
+from .vchannel import DEFAULT_PACKET_SIZE, VirtualChannel
+
+__all__ = ["Session"]
+
+
+class Session:
+    """Channels, virtual channels, and application processes over a world."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self.sim = world.sim
+        self.channels: list[RealChannel] = []
+        self.virtual_channels: list[VirtualChannel] = []
+
+    # -- naming ------------------------------------------------------------------
+    def rank(self, node_name: str) -> int:
+        """Rank of a node by name."""
+        return self.world.names[node_name].rank
+
+    def ranks(self, names: Sequence[Union[str, int]]) -> list[int]:
+        return [n if isinstance(n, int) else self.rank(n) for n in names]
+
+    # -- channel construction ---------------------------------------------------
+    def channel(self, protocol: str, members: Sequence[Union[str, int]],
+                name: Optional[str] = None,
+                adapter_index: int = 0) -> RealChannel:
+        """Create a regular channel over ``protocol`` joining ``members``
+        (ranks or node names)."""
+        ch = RealChannel(self.world, protocol, self.ranks(members),
+                         name=name, adapter_index=adapter_index)
+        self.channels.append(ch)
+        return ch
+
+    def virtual_channel(self, channels: Sequence[RealChannel],
+                        packet_size: int = DEFAULT_PACKET_SIZE,
+                        gateway_params: Optional[GatewayParams] = None,
+                        name: str = "",
+                        multirail: bool = False) -> VirtualChannel:
+        """Bundle real channels into a virtual channel with transparent
+        forwarding on every gateway node (``multirail`` spreads messages
+        over parallel equal-length routes, relaxing inter-message order)."""
+        vch = VirtualChannel(channels, packet_size=packet_size,
+                             gateway_params=gateway_params, name=name,
+                             multirail=multirail)
+        self.virtual_channels.append(vch)
+        return vch
+
+    # -- execution ------------------------------------------------------------------
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Run an application process (a generator yielding sim events)."""
+        return self.sim.process(gen, name=name or "app")
+
+    def run(self, until: Optional[Union[float, Event]] = None):
+        return self.sim.run(until)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

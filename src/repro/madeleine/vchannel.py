@@ -1,0 +1,165 @@
+"""Virtual channels (§2.2.1).
+
+A virtual channel bundles a set of real channels into one addressing domain.
+Creating one:
+
+* builds, per member real channel, a *special* twin used exclusively for
+  messages that still have gateways ahead of them (Figure 3);
+* computes minimum-hop routes over the member channels;
+* spawns a forwarding worker on every (gateway, incoming special channel).
+
+``begin_packing`` picks the underlying machinery dynamically: a direct
+(route length 1) message goes through the regular per-protocol path exactly
+as before; anything longer goes through the Generic Transmission Module.
+The application never sees the difference — the paper's transparency claim.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from ..hw.params import GatewayParams
+from ..routing import RouteTable, gateway_ranks, negotiate_mtu
+from ..sim import Event, Queue
+from .channel import RealChannel
+from .gateway import ForwardingWorker
+from .gtm import GTMIncoming, GTMOutgoing
+from .message import IncomingMessage, OutgoingMessage
+from .wire import MODE_GTM, MODE_REGULAR
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["VirtualChannel", "VChannelEndpoint"]
+
+DEFAULT_PACKET_SIZE = 16 << 10
+
+
+class VChannelEndpoint:
+    """One rank's view of a virtual channel: a unified incoming stream over
+    every member regular channel the rank belongs to."""
+
+    def __init__(self, vchannel: "VirtualChannel", rank: int) -> None:
+        self.vchannel = vchannel
+        self.rank = rank
+        sim = vchannel.sim
+        self.incoming: Queue = Queue(sim, name=f"{vchannel.name}@{rank}.in")
+        self._channels = [ch for ch in vchannel.channels
+                          if rank in ch.members]
+        for ch in self._channels:
+            sim.process(self._mover(ch), name=f"vmove:{ch.id}@{rank}")
+
+    def _mover(self, channel: RealChannel):
+        ep = channel.endpoint(self.rank)
+        while True:
+            announce, hop_src = yield ep.incoming.get()
+            yield self.incoming.put((channel, announce, hop_src))
+
+    # -- user interface ---------------------------------------------------------
+    def begin_packing(self, dst: int) -> Union[OutgoingMessage, GTMOutgoing]:
+        return self.vchannel.begin_packing(self.rank, dst)
+
+    def begin_unpacking(self) -> Event:
+        """Event yielding the next incoming message — an
+        :class:`IncomingMessage` or a :class:`GTMIncoming` depending on the
+        pre-body announce, invisible to the caller."""
+        out = self.vchannel.sim.event()
+        got = self.incoming.get()
+
+        def build(ev: Event) -> None:
+            channel, announce, hop_src = ev.value
+            ep = channel.endpoint(self.rank)
+            if announce.mode == MODE_GTM:
+                out.succeed(GTMIncoming(ep, announce, hop_src))
+            elif announce.mode == MODE_REGULAR:
+                out.succeed(IncomingMessage(ep, announce, hop_src))
+            else:  # pragma: no cover - decode validates modes already
+                out.fail(ValueError(f"bad announce mode {announce.mode}"))
+
+        got.add_callback(build)
+        return out
+
+
+class VirtualChannel:
+    """A set of real channels with transparent inter-device forwarding."""
+
+    def __init__(self, channels: Sequence[RealChannel],
+                 packet_size: int = DEFAULT_PACKET_SIZE,
+                 gateway_params: Optional[GatewayParams] = None,
+                 name: str = "", multirail: bool = False) -> None:
+        if not channels:
+            raise ValueError("a virtual channel needs at least one real channel")
+        worlds = {id(ch.world) for ch in channels}
+        if len(worlds) != 1:
+            raise ValueError("member channels belong to different worlds")
+        if any(ch.special for ch in channels):
+            raise ValueError("virtual channels are built from regular channels")
+        self.channels = list(channels)
+        self.world = channels[0].world
+        self.sim = self.world.sim
+        self.packet_size = packet_size
+        self.gateway_params = gateway_params or GatewayParams()
+        self.name = name or f"vch({','.join(ch.id for ch in channels)})"
+        self.routes = RouteTable(self.channels)
+        # Special (forwarding) twin per member channel, §2.2.2 / Figure 3.
+        self._specials: dict[str, RealChannel] = {
+            ch.id: RealChannel(self.world, ch.protocol.name, ch.members,
+                               name=f"{ch.id}!fwd",
+                               adapter_index=ch.adapter_index, special=True)
+            for ch in self.channels
+        }
+        #: multi-rail mode: when several minimum-hop routes exist (parallel
+        #: gateways), spread successive messages across them round-robin.
+        #: Inter-message ordering between one pair is then no longer
+        #: guaranteed — the standard multi-rail trade-off.
+        self.multirail = multirail
+        self._rail_counters: dict[tuple[int, int], int] = {}
+        self.gateways = gateway_ranks(self.channels)
+        self.workers: list[ForwardingWorker] = []
+        for gw in self.gateways:
+            for ch in self.channels:
+                if gw in ch.members:
+                    self.workers.append(ForwardingWorker(
+                        self, gw, self._specials[ch.id], self.gateway_params))
+        self._endpoints: dict[int, VChannelEndpoint] = {}
+
+    # -- structure -------------------------------------------------------------
+    @property
+    def members(self) -> list[int]:
+        return self.routes.members()
+
+    def special_twin(self, channel: RealChannel) -> RealChannel:
+        return self._specials[channel.id]
+
+    def mtu_for(self, src: int, dst: int) -> int:
+        return negotiate_mtu(self.routes.route(src, dst), self.packet_size)
+
+    def endpoint(self, rank: int) -> VChannelEndpoint:
+        if rank not in self.routes.graph:
+            raise KeyError(f"rank {rank} is not a member of {self.name!r}")
+        if rank not in self._endpoints:
+            self._endpoints[rank] = VChannelEndpoint(self, rank)
+        return self._endpoints[rank]
+
+    # -- sending ------------------------------------------------------------------
+    def begin_packing(self, src: int,
+                      dst: int) -> Union[OutgoingMessage, GTMOutgoing]:
+        """Start a message; the real channel (and whether the GTM is needed)
+        is chosen from the route, §2.2.1."""
+        route = self.routes.route(src, dst)
+        if len(route) == 1:
+            return route[0].channel.endpoint(src).begin_packing(dst)
+        if self.multirail:
+            rails = self.routes.all_routes(src, dst)
+            if len(rails) > 1:
+                i = self._rail_counters.get((src, dst), 0)
+                self._rail_counters[(src, dst)] = i + 1
+                # stagger the starting rail per pair so traffic to different
+                # destinations spreads across the gateways immediately
+                pick = (i + src + dst) % len(rails)
+                return GTMOutgoing(self, src, dst, route=rails[pick])
+        return GTMOutgoing(self, src, dst)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<VirtualChannel {self.name} members={self.members} "
+                f"gateways={self.gateways}>")

@@ -1,0 +1,112 @@
+"""Wire formats for announces and self-description records (§2.3).
+
+Homogeneous Madeleine messages are deliberately *not* self-described (the
+receiver supplies sizes at unpack time), so the only wire metadata for a
+regular message is the small **announce** that tells the receiver which
+transmission module to use — the "additional information transmitted before
+the actual message body" of §2.2.2.
+
+Messages that cross a gateway additionally carry the Generic Transmission
+Module's **self-description** stream: a route header in the announce
+(final destination rank + MTU), then for each user buffer a descriptor
+record (length + emission/reception constraints), the buffer's fragments,
+and finally an empty descriptor terminating the message — exactly the
+sender↔gateway protocol the paper lists.
+
+Records are encoded as real bytes (struct little-endian) so the codec can be
+property-tested; the fabric carries them as ordinary payloads.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from .flags import RecvMode, SendMode
+
+__all__ = [
+    "Announce", "Descriptor",
+    "MODE_REGULAR", "MODE_GTM",
+    "ANNOUNCE_BYTES", "DESC_BYTES",
+    "encode_announce", "decode_announce",
+    "encode_descriptor", "decode_descriptor",
+]
+
+#: announce modes
+MODE_REGULAR = 0    # plain single-network message, regular TM on both ends
+MODE_GTM = 1        # message built by the Generic Transmission Module
+
+_ANNOUNCE_FMT = "<BHHHIB"          # mode, origin, final_dst, mtu_kb, msg_id, hops_left
+_DESC_FMT = "<IBBBx8x"             # length, send mode, recv mode, kind, padding
+
+_DESC_KIND_DATA = 0
+_DESC_KIND_TERMINATOR = 1
+
+ANNOUNCE_BYTES = struct.calcsize(_ANNOUNCE_FMT)   # 12
+DESC_BYTES = struct.calcsize(_DESC_FMT)           # 16
+
+_MTU_UNIT = 1024   # MTUs are whole KB on the wire (they are KB-sized powers of two)
+
+
+@dataclass(frozen=True)
+class Announce:
+    """Pre-body message information (one per message per hop)."""
+
+    mode: int                  # MODE_REGULAR or MODE_GTM
+    origin: int                # rank of the packing node
+    final_dst: int             # rank of the ultimate receiver
+    mtu: int                   # fragment size negotiated for the whole path
+    msg_id: int
+    hops_left: int = 0         # remaining forwarding hops after this one
+
+    def __post_init__(self) -> None:
+        if self.mode not in (MODE_REGULAR, MODE_GTM):
+            raise ValueError(f"bad announce mode {self.mode}")
+        if self.mtu % _MTU_UNIT:
+            raise ValueError(f"MTU must be a multiple of {_MTU_UNIT}: {self.mtu}")
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """Self-description record for one packed buffer (GTM stream).
+
+    The end-of-message terminator is an explicitly flagged empty record
+    (so that genuinely zero-length user buffers remain representable).
+    """
+
+    length: int
+    smode: SendMode = SendMode.CHEAPER
+    rmode: RecvMode = RecvMode.CHEAPER
+    terminator: bool = False
+
+    def __post_init__(self) -> None:
+        if self.terminator and self.length:
+            raise ValueError("terminator records carry no data")
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.terminator
+
+
+def encode_announce(a: Announce) -> bytes:
+    return struct.pack(_ANNOUNCE_FMT, a.mode, a.origin, a.final_dst,
+                       a.mtu // _MTU_UNIT, a.msg_id, a.hops_left)
+
+
+def decode_announce(raw: bytes) -> Announce:
+    mode, origin, final_dst, mtu_kb, msg_id, hops_left = struct.unpack(
+        _ANNOUNCE_FMT, bytes(raw[:ANNOUNCE_BYTES]))
+    return Announce(mode=mode, origin=origin, final_dst=final_dst,
+                    mtu=mtu_kb * _MTU_UNIT, msg_id=msg_id, hops_left=hops_left)
+
+
+def encode_descriptor(d: Descriptor) -> bytes:
+    kind = _DESC_KIND_TERMINATOR if d.terminator else _DESC_KIND_DATA
+    return struct.pack(_DESC_FMT, d.length, int(d.smode), int(d.rmode), kind)
+
+
+def decode_descriptor(raw: bytes) -> Descriptor:
+    length, smode, rmode, kind = struct.unpack(_DESC_FMT,
+                                               bytes(raw[:DESC_BYTES]))
+    return Descriptor(length=length, smode=SendMode(smode),
+                      rmode=RecvMode(rmode),
+                      terminator=kind == _DESC_KIND_TERMINATOR)

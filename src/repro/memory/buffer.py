@@ -1,0 +1,109 @@
+"""Numpy-backed message buffers.
+
+``Buffer`` wraps a ``uint8`` ndarray.  Slicing produces *views* (no copy —
+this is what makes zero-copy forwarding real rather than notional), and the
+only way to duplicate payload bytes is :meth:`Buffer.copy_from`, which
+reports to a :class:`~repro.memory.accounting.CopyAccounting`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .accounting import CopyAccounting
+
+__all__ = ["Buffer", "BufferKind", "DYNAMIC", "STATIC", "as_payload"]
+
+#: buffer disciplines (mirrors the Madeleine BMM split, §2.1.1)
+DYNAMIC = "dynamic"   # user-allocated memory referenced directly
+STATIC = "static"     # protocol-provided memory (mapped segment, kernel pool)
+
+BufferKind = str
+
+
+def as_payload(data: Union[bytes, bytearray, memoryview, np.ndarray]) -> np.ndarray:
+    """View arbitrary byte-like data as a uint8 ndarray without copying."""
+    if isinstance(data, np.ndarray):
+        if data.dtype != np.uint8:
+            return data.view(np.uint8).reshape(-1)
+        return data.reshape(-1)
+    return np.frombuffer(data, dtype=np.uint8)
+
+
+class Buffer:
+    """A contiguous byte region with a discipline tag and an optional owner.
+
+    ``owner`` is the :class:`~repro.memory.pool.StaticBufferPool` the buffer
+    must be released to (static buffers only).
+    """
+
+    __slots__ = ("data", "kind", "owner", "label", "_released")
+
+    def __init__(self, data: np.ndarray, kind: BufferKind = DYNAMIC,
+                 owner: Optional[object] = None, label: str = "") -> None:
+        if kind not in (DYNAMIC, STATIC):
+            raise ValueError(f"unknown buffer kind {kind!r}")
+        self.data = as_payload(data)
+        self.kind = kind
+        self.owner = owner
+        self.label = label
+        self._released = False
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def alloc(cls, nbytes: int, kind: BufferKind = DYNAMIC,
+              label: str = "") -> "Buffer":
+        if nbytes < 0:
+            raise ValueError("buffer size must be >= 0")
+        return cls(np.zeros(nbytes, dtype=np.uint8), kind=kind, label=label)
+
+    @classmethod
+    def wrap(cls, data, label: str = "") -> "Buffer":
+        """Wrap user data (bytes / ndarray) as a DYNAMIC buffer, no copy."""
+        return cls(as_payload(data), kind=DYNAMIC, label=label)
+
+    # -- basics ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return len(self)
+
+    def view(self, start: int = 0, stop: Optional[int] = None) -> "Buffer":
+        """A zero-copy sub-buffer sharing this buffer's memory."""
+        stop = len(self) if stop is None else stop
+        if not (0 <= start <= stop <= len(self)):
+            raise IndexError(f"view [{start}:{stop}] out of range for {len(self)}B")
+        sub = Buffer(self.data[start:stop], kind=self.kind, owner=None,
+                     label=self.label)
+        return sub
+
+    def tobytes(self) -> bytes:
+        return self.data.tobytes()
+
+    def shares_memory_with(self, other: "Buffer") -> bool:
+        return bool(np.shares_memory(self.data, other.data))
+
+    # -- the one and only copy primitive -------------------------------------
+    def copy_from(self, src: "Buffer", accounting: CopyAccounting,
+                  t: float, label: str) -> None:
+        """memcpy ``src`` into this buffer (sizes must match) and account it."""
+        if len(src) != len(self):
+            raise ValueError(f"copy size mismatch: {len(src)} -> {len(self)}")
+        self.data[:] = src.data
+        accounting.record(t, len(src), label)
+
+    def fill_from_bytes(self, raw: bytes, accounting: CopyAccounting,
+                        t: float, label: str) -> None:
+        """Copy raw header bytes into the buffer (also accounted)."""
+        if len(raw) > len(self):
+            raise ValueError("data larger than buffer")
+        self.data[:len(raw)] = np.frombuffer(raw, dtype=np.uint8)
+        accounting.record(t, len(raw), label)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        tag = f" {self.label}" if self.label else ""
+        return f"<Buffer{tag} {self.kind} {len(self)}B>"

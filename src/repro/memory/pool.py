@@ -1,0 +1,80 @@
+"""Static buffer pools.
+
+Static-buffer protocols (the SISCI mapped segments, SBP's kernel buffers)
+hand out *protocol-owned* memory.  A :class:`StaticBufferPool` models a
+finite set of fixed-size blocks; acquisition blocks (in simulated time) when
+the pool is exhausted, which is exactly the backpressure a real NIC's
+descriptor ring applies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+import numpy as np
+
+from ..sim import Event, Simulator
+from .buffer import Buffer, STATIC
+
+__all__ = ["StaticBufferPool", "PoolExhausted"]
+
+
+class PoolExhausted(RuntimeError):
+    """try_acquire() on an empty pool."""
+
+
+class StaticBufferPool:
+    """Fixed number of fixed-size STATIC buffers with FIFO blocking acquire."""
+
+    def __init__(self, sim: Simulator, count: int, block_size: int,
+                 name: str = "pool") -> None:
+        if count < 1:
+            raise ValueError("pool needs at least one block")
+        if block_size < 1:
+            raise ValueError("block size must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.block_size = block_size
+        self.count = count
+        self._free: Deque[Buffer] = deque(
+            Buffer(np.zeros(block_size, dtype=np.uint8), kind=STATIC,
+                   owner=self, label=f"{name}[{i}]")
+            for i in range(count)
+        )
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+    def acquire(self) -> Event:
+        """Event that triggers with a free STATIC buffer."""
+        ev = self.sim.event(name=f"{self.name}.acquire")
+        if self._free and not self._waiters:
+            buf = self._free.popleft()
+            buf._released = False
+            ev.succeed(buf)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def try_acquire(self) -> Buffer:
+        """Immediate acquire; raises :class:`PoolExhausted` if empty."""
+        if not self._free or self._waiters:
+            raise PoolExhausted(f"pool {self.name!r} has no free block")
+        buf = self._free.popleft()
+        buf._released = False
+        return buf
+
+    def release(self, buf: Buffer) -> None:
+        if buf.owner is not self:
+            raise ValueError(f"buffer {buf!r} does not belong to pool {self.name!r}")
+        if buf._released:
+            raise ValueError(f"double release of {buf!r}")
+        buf._released = True
+        if self._waiters:
+            buf._released = False
+            self._waiters.popleft().succeed(buf)
+        else:
+            self._free.append(buf)

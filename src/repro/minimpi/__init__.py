@@ -1,0 +1,16 @@
+"""minimpi — an MPI-flavoured layer over Madeleine virtual channels.
+
+Demonstrates the MPICH/Madeleine-III layering on this reproduction: tagged
+point-to-point with MPI matching semantics plus classic collectives, all
+topology transparent across gateways.
+"""
+
+from .collectives import (allreduce, barrier, bcast, gather, reduce,
+                          ring_allreduce, scatter)
+from .comm import ANY_SOURCE, ANY_TAG, Communicator, Message
+
+__all__ = [
+    "allreduce", "barrier", "bcast", "gather", "reduce", "ring_allreduce",
+    "scatter",
+    "ANY_SOURCE", "ANY_TAG", "Communicator", "Message",
+]

@@ -1,0 +1,153 @@
+"""Collective operations over :class:`~repro.minimpi.comm.Communicator`.
+
+Classic implementations on top of tagged point-to-point: binomial-tree
+broadcast and reduce, linear gather/scatter, tree barrier, ring allreduce.
+Ranks are addressed by their *index* in the communicator's member list, so
+the algorithms are independent of the underlying rank numbering.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from .comm import Communicator
+
+__all__ = ["bcast", "reduce", "allreduce", "gather", "scatter", "barrier",
+           "ring_allreduce"]
+
+#: tag space reserved for collectives (user tags stay below this)
+_COLL_TAG = 1 << 16
+
+
+def _idx(comm: Communicator) -> int:
+    return comm.ranks.index(comm.rank)
+
+
+def bcast(comm: Communicator, data, root_index: int = 0,
+          tag: int = _COLL_TAG) -> Generator:
+    """Binomial-tree broadcast; every rank returns the payload bytes."""
+    n = comm.size
+    me = (_idx(comm) - root_index) % n
+    if me != 0:
+        msg = yield from comm.recv(tag=tag)
+        data = msg.array()
+    mask = 1
+    while mask < n:
+        if me < mask:
+            peer = me + mask
+            if peer < n:
+                dest = comm.ranks[(peer + root_index) % n]
+                yield from comm.send(np.asarray(data).view(np.uint8), dest,
+                                     tag=tag)
+        mask <<= 1
+    return np.asarray(data).view(np.uint8)
+
+
+def reduce(comm: Communicator, array: np.ndarray, op=np.add,
+           root_index: int = 0, tag: int = _COLL_TAG + 1) -> Generator:
+    """Binomial-tree reduction toward ``root_index``; the root returns the
+    reduced array, others return None."""
+    n = comm.size
+    me = (_idx(comm) - root_index) % n
+    acc = np.array(array, copy=True)
+    mask = 1
+    while mask < n:
+        if me & mask:
+            dest = comm.ranks[((me - mask) + root_index) % n]
+            yield from comm.send(acc.view(np.uint8), dest, tag=tag)
+            return None
+        peer = me + mask
+        if peer < n:
+            msg = yield from comm.recv(tag=tag)
+            acc = op(acc, msg.array(acc.dtype).reshape(acc.shape))
+        mask <<= 1
+    return acc
+
+
+def allreduce(comm: Communicator, array: np.ndarray, op=np.add,
+              tag: int = _COLL_TAG + 2) -> Generator:
+    """reduce to index 0 then broadcast."""
+    reduced = yield from reduce(comm, array, op=op, root_index=0, tag=tag)
+    out = yield from bcast(
+        comm, reduced.view(np.uint8) if reduced is not None else None,
+        root_index=0, tag=tag + 1)
+    return out.view(array.dtype).reshape(array.shape)
+
+
+def gather(comm: Communicator, array: np.ndarray, root_index: int = 0,
+           tag: int = _COLL_TAG + 4) -> Generator:
+    """Linear gather; the root returns the list of arrays in index order."""
+    me = _idx(comm)
+    if me != root_index:
+        yield from comm.send(array.view(np.uint8), comm.ranks[root_index],
+                             tag=tag)
+        return None
+    parts: dict[int, np.ndarray] = {me: np.asarray(array)}
+    for _ in range(comm.size - 1):
+        msg = yield from comm.recv(tag=tag)
+        parts[comm.ranks.index(msg.source)] = msg.array(array.dtype)
+    return [parts[i] for i in range(comm.size)]
+
+
+def scatter(comm: Communicator, arrays, root_index: int = 0,
+            tag: int = _COLL_TAG + 5) -> Generator:
+    """Linear scatter from the root; every rank returns its piece."""
+    me = _idx(comm)
+    if me == root_index:
+        if len(arrays) != comm.size:
+            raise ValueError("scatter needs one array per rank")
+        for i, rank in enumerate(comm.ranks):
+            if i == me:
+                continue
+            yield from comm.send(np.asarray(arrays[i]).view(np.uint8), rank,
+                                 tag=tag)
+        return np.asarray(arrays[me])
+    msg = yield from comm.recv(source=comm.ranks[root_index], tag=tag)
+    return msg.array()
+
+
+def barrier(comm: Communicator, tag: int = _COLL_TAG + 6) -> Generator:
+    """Tree barrier: reduce an empty token, then broadcast it."""
+    token = np.zeros(1, dtype=np.uint8)
+    got = yield from reduce(comm, token, root_index=0, tag=tag)
+    yield from bcast(comm, got if got is not None else None,
+                     root_index=0, tag=tag + 1)
+
+
+def ring_allreduce(comm: Communicator, array: np.ndarray, op=np.add,
+                   tag: int = _COLL_TAG + 8) -> Generator:
+    """Ring allreduce (reduce-scatter + allgather), the bandwidth-optimal
+    collective for large arrays; moves 2·(n-1)/n of the data per link."""
+    n = comm.size
+    if n == 1:
+        return np.array(array, copy=True)
+    me = _idx(comm)
+    right = comm.ranks[(me + 1) % n]
+    left = comm.ranks[(me - 1) % n]
+    acc = np.array(array, copy=True)
+    chunks = np.array_split(acc, n)
+    bounds = np.cumsum([0] + [len(c) for c in chunks])
+    # reduce-scatter
+    for step in range(n - 1):
+        send_idx = (me - step) % n
+        recv_idx = (me - step - 1) % n
+        out = acc[bounds[send_idx]:bounds[send_idx + 1]]
+        msg = yield from comm.sendrecv(out.view(np.uint8), dest=right,
+                                       source=left, send_tag=tag + step,
+                                       recv_tag=tag + step)
+        piece = msg.array(acc.dtype)
+        seg = acc[bounds[recv_idx]:bounds[recv_idx + 1]]
+        seg[:] = op(seg, piece)
+    # allgather
+    for step in range(n - 1):
+        send_idx = (me - step + 1) % n
+        recv_idx = (me - step) % n
+        out = acc[bounds[send_idx]:bounds[send_idx + 1]]
+        msg = yield from comm.sendrecv(out.view(np.uint8), dest=right,
+                                       source=left,
+                                       send_tag=tag + n + step,
+                                       recv_tag=tag + n + step)
+        acc[bounds[recv_idx]:bounds[recv_idx + 1]] = msg.array(acc.dtype)
+    return acc

@@ -1,0 +1,11 @@
+"""Route computation over cluster-of-clusters channel graphs."""
+
+from .graph import build_graph, gateway_ranks
+from .mtu import MIN_MTU, MTU_GRANULARITY, negotiate_mtu
+from .routes import Hop, NoRouteError, RouteTable
+
+__all__ = [
+    "build_graph", "gateway_ranks",
+    "MIN_MTU", "MTU_GRANULARITY", "negotiate_mtu",
+    "Hop", "NoRouteError", "RouteTable",
+]

@@ -1,0 +1,39 @@
+"""Connectivity graph over the real channels of a virtual channel.
+
+Every real channel is a full crossbar among its members (a switch), so the
+graph carries one edge per (channel, member pair).  Gateways are the ranks
+that belong to more than one channel.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Sequence
+
+import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..madeleine.channel import RealChannel
+
+__all__ = ["build_graph", "gateway_ranks"]
+
+
+def build_graph(channels: Sequence["RealChannel"]) -> nx.MultiGraph:
+    """Multigraph: nodes are ranks, one edge per channel per member pair,
+    keyed by the channel id and carrying the channel object."""
+    g = nx.MultiGraph()
+    for ch in channels:
+        for rank in ch.members:
+            g.add_node(rank)
+        for a, b in itertools.combinations(ch.members, 2):
+            g.add_edge(a, b, key=ch.id, channel=ch)
+    return g
+
+
+def gateway_ranks(channels: Sequence["RealChannel"]) -> list[int]:
+    """Ranks present on two or more channels (candidate forwarders)."""
+    seen: dict[int, set[str]] = {}
+    for ch in channels:
+        for rank in ch.members:
+            seen.setdefault(rank, set()).add(ch.id)
+    return sorted(r for r, ids in seen.items() if len(ids) >= 2)

@@ -1,0 +1,34 @@
+"""Path-wide MTU negotiation (§2.3).
+
+The Generic Transmission Module fragments messages so that every network on
+the route can transmit a fragment without further fragmentation; the MTU is
+chosen statically per (virtual channel, route) from the per-protocol limits
+and the configured packet size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .routes import Hop
+
+__all__ = ["negotiate_mtu", "MTU_GRANULARITY", "MIN_MTU"]
+
+#: the wire format expresses MTUs in whole KB.
+MTU_GRANULARITY = 1024
+MIN_MTU = 1024
+
+
+def negotiate_mtu(hops: Iterable["Hop"], packet_size: int) -> int:
+    """Largest MTU <= packet_size accepted by every hop, KB-aligned."""
+    if packet_size < MIN_MTU:
+        raise ValueError(f"packet size must be >= {MIN_MTU}, got {packet_size}")
+    limit = packet_size
+    for hop in hops:
+        limit = min(limit, hop.channel.protocol.max_mtu)
+    mtu = (limit // MTU_GRANULARITY) * MTU_GRANULARITY
+    if mtu < MIN_MTU:
+        raise ValueError(
+            f"route cannot carry {MIN_MTU}B fragments (limit {limit}B)")
+    return mtu

@@ -1,0 +1,101 @@
+"""Route computation for virtual channels.
+
+Routes are minimum-hop paths over the channel graph; ties are broken
+deterministically (lexicographically smallest rank sequence, then channel
+id) so every node of the session computes identical tables — the paper's
+configurations are statically configured (§2.3), and consistency between
+the origin's choice and each gateway's next-hop choice is what keeps
+multi-gateway forwarding loop-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..madeleine.channel import RealChannel
+
+from .graph import build_graph
+
+__all__ = ["Hop", "RouteTable", "NoRouteError"]
+
+
+class NoRouteError(RuntimeError):
+    """The virtual channel does not connect the two ranks."""
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One forwarding step: ``src`` transmits to ``dst`` over ``channel``."""
+
+    channel: "RealChannel"
+    src: int
+    dst: int
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Hop {self.src}->{self.dst} via {self.channel.id}>"
+
+
+class RouteTable:
+    """All-pairs minimum-hop routes over a set of real channels."""
+
+    def __init__(self, channels: Sequence["RealChannel"]) -> None:
+        self.channels = list(channels)
+        self.graph = build_graph(self.channels)
+        self._cache: dict[tuple[int, int], list[Hop]] = {}
+
+    def members(self) -> list[int]:
+        return sorted(self.graph.nodes)
+
+    def route(self, src: int, dst: int) -> list[Hop]:
+        """Hops from ``src`` to ``dst`` (length 1 = direct, no forwarding)."""
+        if src == dst:
+            raise ValueError("route to self")
+        key = (src, dst)
+        if key not in self._cache:
+            self._cache[key] = self._compute(src, dst)
+        return self._cache[key]
+
+    def all_routes(self, src: int, dst: int) -> list[list[Hop]]:
+        """Every minimum-hop route, deterministically ordered — the
+        parallel *rails* a multi-gateway configuration offers."""
+        if src == dst:
+            raise ValueError("route to self")
+        if src not in self.graph or dst not in self.graph:
+            raise NoRouteError(f"rank {src if src not in self.graph else dst} "
+                               f"is not reachable on this virtual channel")
+        try:
+            paths = sorted(nx.all_shortest_paths(self.graph, src, dst))
+        except nx.NetworkXNoPath:
+            raise NoRouteError(f"no route from {src} to {dst}") from None
+        return [self._hops_for(path) for path in paths]
+
+    def next_hop(self, at: int, dst: int) -> Hop:
+        """The hop a node (typically a gateway) takes toward ``dst``."""
+        return self.route(at, dst)[0]
+
+    def hop_count(self, src: int, dst: int) -> int:
+        return len(self.route(src, dst))
+
+    def _compute(self, src: int, dst: int) -> list[Hop]:
+        if src not in self.graph or dst not in self.graph:
+            raise NoRouteError(f"rank {src if src not in self.graph else dst} "
+                               f"is not reachable on this virtual channel")
+        try:
+            paths = list(nx.all_shortest_paths(self.graph, src, dst))
+        except nx.NetworkXNoPath:
+            raise NoRouteError(f"no route from {src} to {dst}") from None
+        path = min(paths)  # deterministic tie-break on rank sequence
+        return self._hops_for(path)
+
+    def _hops_for(self, path: list[int]) -> list[Hop]:
+        hops: list[Hop] = []
+        for a, b in zip(path, path[1:]):
+            # Deterministic channel choice among parallel edges.
+            data = self.graph.get_edge_data(a, b)
+            cid = min(data.keys())
+            hops.append(Hop(channel=data[cid]["channel"], src=a, dst=b))
+        return hops

@@ -1,0 +1,5 @@
+"""PM2-flavoured lightweight RPC over Madeleine virtual channels."""
+
+from .core import Call, RemoteError, Reply, RpcError, RpcNode
+
+__all__ = ["Call", "RemoteError", "Reply", "RpcError", "RpcNode"]

@@ -1,0 +1,29 @@
+"""Deterministic discrete-event simulation kernel (clock in microseconds).
+
+Public surface:
+
+* :class:`Simulator`, :class:`Event`, :class:`Process` — the event loop and
+  generator-based processes (:mod:`repro.sim.engine`);
+* :class:`Semaphore`, :class:`Mutex`, :class:`Queue`, :class:`Barrier`,
+  :class:`Signal` — FIFO synchronization (:mod:`repro.sim.sync`);
+* :class:`FluidNetwork`, :class:`FluidResource`, :class:`Flow` — fluid-flow
+  bandwidth sharing with priority arbitration (:mod:`repro.sim.fluid`);
+* :class:`TraceRecorder` — simulated-time instrumentation
+  (:mod:`repro.sim.trace`).
+"""
+
+from .engine import (AllOf, AnyOf, Event, Process, Simulator, Timeout,
+                     PRIORITY_LATE, PRIORITY_NORMAL, PRIORITY_URGENT)
+from .errors import DeadlockError, ProcessCrashed, SchedulingError, SimError
+from .fluid import DMA, PIO, Flow, FluidNetwork, FluidResource
+from .sync import Barrier, Mutex, Queue, Semaphore, Signal
+from .trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "AllOf", "AnyOf", "Event", "Process", "Simulator", "Timeout",
+    "PRIORITY_LATE", "PRIORITY_NORMAL", "PRIORITY_URGENT",
+    "DeadlockError", "ProcessCrashed", "SchedulingError", "SimError",
+    "DMA", "PIO", "Flow", "FluidNetwork", "FluidResource",
+    "Barrier", "Mutex", "Queue", "Semaphore", "Signal",
+    "TraceRecord", "TraceRecorder",
+]

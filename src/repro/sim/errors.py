@@ -1,0 +1,26 @@
+"""Exception hierarchy for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class SchedulingError(SimError):
+    """An event was triggered or scheduled in an invalid state."""
+
+
+class DeadlockError(SimError):
+    """run() was asked to reach a condition but the event heap drained first."""
+
+
+class ProcessCrashed(SimError):
+    """A simulation process terminated with an unhandled exception.
+
+    The original exception is available as ``__cause__``.
+    """
+
+    def __init__(self, process_name: str, message: str = "") -> None:
+        super().__init__(f"process {process_name!r} crashed{': ' + message if message else ''}")
+        self.process_name = process_name

@@ -1,0 +1,256 @@
+"""Fluid-flow modelling of shared transmission resources.
+
+A data transfer (a *flow*) pushes ``size`` bytes along a *path* of shared
+resources (PCI buses, network links).  At any instant every active flow has a
+rate; rates are recomputed whenever the set of active flows changes, using
+**max-min fair sharing with contention caps**:
+
+* every hop of a flow's path carries a transaction *kind* — ``"dma"`` for
+  bus-master transfers initiated by a NIC, ``"pio"`` for CPU-initiated
+  programmed I/O;
+* a flow whose hop on some resource is PIO, while any concurrent flow on
+  that resource is DMA, has its standalone peak divided by the resource's
+  ``preempt_slowdown`` — the paper measures ≈ 2× for SCI PIO writes while a
+  Myrinet DMA receive is in flight (its Figure 8), because the PCI arbiter
+  favours the NIC's DMA transactions;
+* subject to those caps and to each resource's capacity, rates are assigned
+  by classical progressive filling (max-min fairness).
+
+Rates are piecewise constant between recomputations, so the completion time
+of each flow is exact — no time-stepping error.  Bandwidths are bytes/µs,
+numerically equal to MB/s.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Optional, Sequence
+
+from .engine import Event, Simulator
+
+__all__ = ["FluidResource", "Flow", "FluidNetwork", "DMA", "PIO"]
+
+_EPS = 1e-9
+
+#: transaction kinds
+DMA = "dma"
+PIO = "pio"
+
+
+class FluidResource:
+    """A shared capacity (bytes/µs) that concurrent flows divide."""
+
+    __slots__ = ("name", "capacity", "preempt_slowdown", "flows")
+
+    def __init__(self, name: str, capacity: float,
+                 preempt_slowdown: float = 1.0) -> None:
+        if capacity <= 0:
+            raise ValueError(f"resource {name!r}: capacity must be > 0")
+        if preempt_slowdown < 1.0:
+            raise ValueError(f"resource {name!r}: preempt_slowdown must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        #: factor applied to a PIO flow's peak rate while any DMA flow
+        #: shares this resource.
+        self.preempt_slowdown = preempt_slowdown
+        self.flows: set["Flow"] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<FluidResource {self.name} cap={self.capacity}B/µs>"
+
+
+class Flow:
+    """One transfer of ``size`` bytes along ``path``.
+
+    ``path`` is a sequence of ``(resource, kind)`` hops; ``peak`` caps the
+    flow's standalone rate (e.g. the slowest NIC engine on the path).
+    """
+
+    _ids = itertools.count()
+
+    __slots__ = ("id", "name", "size", "remaining", "path", "peak",
+                 "rate", "done", "started_at", "finished_at", "_last_update")
+
+    def __init__(self, name: str, size: float,
+                 path: Sequence[tuple[FluidResource, str]], peak: float) -> None:
+        if size < 0:
+            raise ValueError("flow size must be >= 0")
+        if peak <= 0:
+            raise ValueError("flow peak rate must be > 0")
+        for _res, kind in path:
+            if kind not in (DMA, PIO):
+                raise ValueError(f"unknown transaction kind {kind!r}")
+        self.id = next(Flow._ids)
+        self.name = name
+        self.size = float(size)
+        self.remaining = float(size)
+        self.path = tuple(path)
+        self.peak = float(peak)
+        self.rate = 0.0
+        self.done: Optional[Event] = None
+        self.started_at: float = 0.0
+        self.finished_at: Optional[float] = None
+        self._last_update: float = 0.0
+
+    def kind_on(self, resource: FluidResource) -> Optional[str]:
+        for res, kind in self.path:
+            if res is resource:
+                return kind
+        return None
+
+    def resources(self) -> list[FluidResource]:
+        return [res for res, _kind in self.path]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Flow {self.name} {self.size - self.remaining:.0f}/"
+                f"{self.size:.0f}B rate={self.rate:.2f}>")
+
+
+class FluidNetwork:
+    """Manages active flows, rate recomputation, and completion events."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.flows: set[Flow] = set()
+        self._wake_version = 0
+        #: optional observers called as fn(t, flow, new_rate) on rate changes
+        #: (used by the pipeline analyses behind Figures 5 and 8).
+        self.rate_observers: list[Callable[[float, Flow, float], None]] = []
+
+    # -- public API ---------------------------------------------------------
+    def transfer(self, name: str, size: float,
+                 path: Sequence[tuple[FluidResource, str]],
+                 peak: float) -> Event:
+        """Start a flow; returns an event that triggers (with the flow) when
+        the last byte has moved."""
+        flow = Flow(name, size, path, peak)
+        flow.done = self.sim.event(name=f"flow:{name}")
+        flow.started_at = self.sim.now
+        flow._last_update = self.sim.now
+        if flow.size <= _EPS:
+            flow.finished_at = self.sim.now
+            flow.done.succeed(flow)
+            return flow.done
+        self._advance()
+        self.flows.add(flow)
+        for res in flow.resources():
+            res.flows.add(flow)
+        self._recompute()
+        return flow.done
+
+    def utilization(self, resource: FluidResource) -> float:
+        """Instantaneous total rate through ``resource``."""
+        return sum(f.rate for f in resource.flows)
+
+    # -- bookkeeping ----------------------------------------------------------
+    def _advance(self) -> None:
+        """Account progress made at current rates since the last update."""
+        now = self.sim.now
+        for flow in self.flows:
+            dt = now - flow._last_update
+            if dt > 0:
+                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+            flow._last_update = now
+
+    def _finish(self, flow: Flow) -> None:
+        self.flows.discard(flow)
+        for res in flow.resources():
+            res.flows.discard(flow)
+        flow.rate = 0.0
+        flow.remaining = 0.0
+        flow.finished_at = self.sim.now
+        for obs in self.rate_observers:
+            obs(self.sim.now, flow, 0.0)
+        flow.done.succeed(flow)
+
+    def _recompute(self) -> None:
+        rates = self.solve_rates(self.flows)
+        for flow, rate in rates.items():
+            if abs(rate - flow.rate) > _EPS:
+                flow.rate = rate
+                for obs in self.rate_observers:
+                    obs(self.sim.now, flow, rate)
+            else:
+                flow.rate = rate
+        self._schedule_wakeup()
+
+    def _schedule_wakeup(self) -> None:
+        """Arm a timeout for the earliest flow completion (if any)."""
+        self._wake_version += 1
+        version = self._wake_version
+        horizon = float("inf")
+        for flow in self.flows:
+            if flow.rate > _EPS:
+                horizon = min(horizon, flow.remaining / flow.rate)
+        if horizon == float("inf"):
+            return
+        ev = self.sim.timeout(max(0.0, horizon), name="fluid.wake")
+        ev.add_callback(lambda _ev: self._on_wake(version))
+
+    def _on_wake(self, version: int) -> None:
+        if version != self._wake_version:
+            return  # superseded by a more recent recomputation
+        self._advance()
+        finished = [f for f in self.flows if f.remaining <= 1e-6 * max(1.0, f.size)]
+        for flow in finished:
+            self._finish(flow)
+        if self.flows or finished:
+            self._recompute()
+
+    # -- the rate solver ------------------------------------------------------
+    @staticmethod
+    def solve_rates(flows: Iterable[Flow]) -> dict[Flow, float]:
+        """Max-min progressive filling with PIO-under-DMA contention caps.
+
+        Pure function of the flow set; exercised directly by the
+        property-based tests.
+        """
+        flows = list(flows)
+        alloc: dict[Flow, float] = {f: 0.0 for f in flows}
+        if not flows:
+            return alloc
+        residual: dict[FluidResource, float] = {}
+        members: dict[FluidResource, list[Flow]] = {}
+        for f in flows:
+            for res in f.resources():
+                residual.setdefault(res, res.capacity)
+                members.setdefault(res, []).append(f)
+        # Effective per-flow cap: standalone peak, divided by the resource
+        # slowdown when this flow is PIO on a resource that also carries DMA.
+        caps: dict[Flow, float] = {}
+        for f in flows:
+            cap = f.peak
+            for res, kind in f.path:
+                if kind == PIO and any(
+                        o is not f and o.kind_on(res) == DMA
+                        for o in members[res]):
+                    cap = min(cap, f.peak / res.preempt_slowdown)
+            caps[f] = cap
+        # Progressive filling.
+        active = list(flows)
+        while active:
+            delta = min(caps[f] - alloc[f] for f in active)
+            counts: dict[FluidResource, int] = {}
+            for f in active:
+                for res in f.resources():
+                    counts[res] = counts.get(res, 0) + 1
+            for res, n in counts.items():
+                delta = min(delta, residual[res] / n)
+            if delta > _EPS:
+                for f in active:
+                    alloc[f] += delta
+                    for res in f.resources():
+                        residual[res] -= delta
+                for res in residual:
+                    if residual[res] < 0:  # numerical guard
+                        residual[res] = 0.0
+            still = []
+            for f in active:
+                capped = alloc[f] >= caps[f] - _EPS
+                saturated = any(residual[res] <= _EPS for res in f.resources())
+                if not capped and not saturated:
+                    still.append(f)
+            if len(still) == len(active):
+                break  # no progress possible without a freeze: stop
+            active = still
+        return alloc

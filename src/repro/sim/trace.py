@@ -1,0 +1,82 @@
+"""Simulated-time tracing.
+
+Replaces the paper's ``rdtsc`` instrumentation: components emit timestamped
+records into a :class:`TraceRecorder`, and the analysis layer reconstructs
+pipeline timelines (Figures 5 and 8) from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One instrumentation sample."""
+
+    t: float                      # simulated time, µs
+    category: str                 # e.g. "gateway", "nic", "pci"
+    event: str                    # e.g. "recv_start", "send_end", "swap"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.attrs[key]
+
+
+class TraceRecorder:
+    """Append-only store of trace records with simple filtered queries."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def emit(self, t: float, category: str, event: str, **attrs: Any) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(t, category, event, attrs))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def query(self, category: Optional[str] = None, event: Optional[str] = None,
+              **attr_filters: Any) -> list[TraceRecord]:
+        """Records matching the category/event names and attribute equality."""
+        out = []
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            if any(rec.attrs.get(k) != v for k, v in attr_filters.items()):
+                continue
+            out.append(rec)
+        return out
+
+    def intervals(self, category: str, start_event: str, end_event: str,
+                  key: str) -> list[tuple[Any, float, float]]:
+        """Pair start/end records sharing the same ``key`` attribute value.
+
+        Returns (key_value, t_start, t_end) tuples in start order; unmatched
+        starts are dropped (still-open intervals at end of trace).
+        """
+        open_at: dict[Any, float] = {}
+        out: list[tuple[Any, float, float]] = []
+        for rec in self.records:
+            if rec.category != category:
+                continue
+            if rec.event == start_event:
+                open_at[rec.attrs.get(key)] = rec.t
+            elif rec.event == end_event:
+                k = rec.attrs.get(key)
+                if k in open_at:
+                    out.append((k, open_at.pop(k), rec.t))
+        out.sort(key=lambda x: x[1])
+        return out

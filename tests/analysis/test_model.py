@@ -1,0 +1,55 @@
+"""The closed-form §3.3.1 pipeline model vs the full simulation."""
+
+import pytest
+
+from repro.analysis import fragment_time, predict_forwarding
+from repro.bench import PingHarness, figure_sweep
+from repro.hw import GatewayParams, MYRINET, SBP, SCI
+
+
+def test_fragment_time_components():
+    t = fragment_time(MYRINET, 8192)
+    assert t == pytest.approx(MYRINET.tx_overhead + MYRINET.latency
+                              + (8192 + 16) / MYRINET.host_peak)
+
+
+def test_fragment_time_rate_override():
+    assert fragment_time(MYRINET, 8192, rate=33.0) > fragment_time(MYRINET, 8192)
+
+
+@pytest.mark.parametrize("packet", [8 << 10, 32 << 10, 128 << 10])
+def test_model_matches_simulation_sci_to_myri(packet):
+    pred = predict_forwarding(SCI, MYRINET, packet)
+    harness = PingHarness(packet_size=packet)
+    measured = harness.measure(8 << 20, direction="b0->a0").bandwidth
+    assert measured == pytest.approx(pred.bandwidth, rel=0.10)
+
+
+@pytest.mark.parametrize("packet", [8 << 10, 32 << 10, 128 << 10])
+def test_model_matches_simulation_myri_to_sci(packet):
+    pred = predict_forwarding(MYRINET, SCI, packet)
+    harness = PingHarness(packet_size=packet)
+    measured = harness.measure(8 << 20, direction="a0->b0").bandwidth
+    assert measured == pytest.approx(pred.bandwidth, rel=0.12)
+
+
+def test_model_reproduces_direction_asymmetry():
+    sm = predict_forwarding(SCI, MYRINET, 128 << 10)
+    ms = predict_forwarding(MYRINET, SCI, 128 << 10)
+    assert sm.bandwidth > 1.25 * ms.bandwidth
+    # the asymmetry comes from the stretched send step specifically
+    assert ms.send_us > ms.recv_us
+    assert abs(sm.send_us - sm.recv_us) / sm.recv_us < 0.25
+
+
+def test_model_overhead_term():
+    fast = predict_forwarding(SCI, MYRINET, 64 << 10,
+                              gateway=GatewayParams(switch_overhead=0.0))
+    slow = predict_forwarding(SCI, MYRINET, 64 << 10,
+                              gateway=GatewayParams(switch_overhead=160.0))
+    assert slow.period_us - fast.period_us == pytest.approx(160.0)
+
+
+def test_model_handles_non_pio_pairs():
+    pred = predict_forwarding(SBP, SCI, 16 << 10)
+    assert pred.bandwidth > 0

@@ -1,0 +1,76 @@
+"""Tests for the §3.1 ping measurement method."""
+
+import pytest
+
+from repro.bench import (PingHarness, Series, bandwidth_sweep,
+                         format_comparison, format_series_table,
+                         human_size, measure_ack_latency, PaperPoint)
+from repro.hw import build_world
+from repro.madeleine import Session
+
+
+def test_ack_calibration_positive_and_repeatable():
+    w = build_world({"a": ["fast_ethernet"], "b": ["fast_ethernet"]})
+    s = Session(w)
+    ack = s.channel("fast_ethernet", ["a", "b"])
+    l1 = measure_ack_latency(s, ack, 0, 1)
+    l2 = measure_ack_latency(s, ack, 0, 1)
+    assert l1 > 0
+    assert l1 == pytest.approx(l2)
+
+
+def test_ping_method_matches_direct_measurement():
+    """The RTT-minus-ack estimate must agree with the directly observed
+    one-way time (this is exactly why the paper's method is sound)."""
+    harness = PingHarness(packet_size=16 << 10)
+    res = harness.measure(256 << 10, direction="b0->a0")
+    assert res.one_way_us == pytest.approx(res.direct_us, rel=0.02)
+
+
+def test_ping_directions_differ():
+    harness = PingHarness(packet_size=64 << 10)
+    sm = harness.measure(1 << 20, direction="b0->a0")   # SCI -> Myrinet
+    ms = harness.measure(1 << 20, direction="a0->b0")   # Myrinet -> SCI
+    assert sm.bandwidth > ms.bandwidth
+
+
+def test_ping_bad_direction_rejected():
+    with pytest.raises(ValueError):
+        PingHarness().measure(1024, direction="sideways")
+
+
+def test_bandwidth_monotone_in_message_size():
+    harness = PingHarness(packet_size=32 << 10)
+    series = bandwidth_sweep(lambda n: harness.measure(n, "b0->a0"),
+                             [64 << 10, 256 << 10, 1 << 20], "sweep")
+    assert series.bandwidths == sorted(series.bandwidths)
+
+
+def test_series_asymptote():
+    s = Series("x", sizes=[1, 2, 3, 4], bandwidths=[10, 20, 30, 40])
+    assert s.asymptote == pytest.approx(40)
+    with pytest.raises(ValueError):
+        Series("empty").asymptote
+
+
+def test_human_size():
+    assert human_size(512) == "512 B"
+    assert human_size(8 << 10) == "8 KB"
+    assert human_size(2 << 20) == "2 MB"
+    assert human_size(1536) == "1536 B"
+
+
+def test_format_series_table_contains_all_points():
+    a = Series("paquet 8 KB", sizes=[8192, 16384], bandwidths=[10.0, 20.0])
+    b = Series("paquet 16 KB", sizes=[16384], bandwidths=[25.0])
+    out = format_series_table([a, b], title="Figure X")
+    assert "Figure X" in out
+    assert "8 KB" in out and "16 KB" in out
+    assert "25.0" in out and "10.0" in out
+
+
+def test_format_comparison():
+    pts = [PaperPoint("asymptotic bandwidth", 60.0, 55.0, note="fig 6")]
+    out = format_comparison(pts, title="check")
+    assert "0.92x" in out
+    assert "fig 6" in out

@@ -1,0 +1,42 @@
+"""Figure-sweep harness tests (small grids to stay fast)."""
+
+import pytest
+
+from repro.bench import (PAPER_MESSAGE_SIZES, PAPER_PACKET_SIZES, Series,
+                         figure_sweep)
+
+
+def test_paper_constants():
+    assert PAPER_PACKET_SIZES == (8 << 10, 16 << 10, 32 << 10, 64 << 10,
+                                  128 << 10)
+    assert PAPER_MESSAGE_SIZES[0] == 8 << 10
+    assert PAPER_MESSAGE_SIZES[-1] == 16 << 20
+
+
+def test_figure_sweep_small_grid():
+    curves = figure_sweep("b0->a0", packet_sizes=(16 << 10,),
+                          message_sizes=(32 << 10, 128 << 10))
+    assert len(curves) == 1
+    c = curves[0]
+    assert c.label == "paquet 16 KB"
+    assert c.sizes == [32 << 10, 128 << 10]
+    assert c.meta["packet_size"] == 16 << 10
+    assert all(b > 0 for b in c.bandwidths)
+
+
+def test_figure_sweep_skips_messages_smaller_than_packet():
+    curves = figure_sweep("b0->a0", packet_sizes=(64 << 10,),
+                          message_sizes=(8 << 10, 64 << 10, 256 << 10))
+    assert curves[0].sizes == [64 << 10, 256 << 10]
+
+
+def test_figure_sweep_direction_asymmetry_on_grid():
+    kw = dict(packet_sizes=(64 << 10,), message_sizes=(4 << 20,))
+    sm = figure_sweep("b0->a0", **kw)[0]
+    ms = figure_sweep("a0->b0", **kw)[0]
+    assert sm.bandwidths[0] > ms.bandwidths[0]
+
+
+def test_series_as_rows():
+    s = Series("x", sizes=[1, 2], bandwidths=[3.0, 4.0])
+    assert s.as_rows() == [(1, 3.0), (2, 4.0)]

@@ -1,0 +1,58 @@
+"""Smoke tests: every shipped example runs to completion and reports
+sensible results."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "intact: True" in out
+    assert "host copies performed: 0" in out
+
+
+def test_cluster_of_clusters(capsys):
+    out = run_example("cluster_of_clusters.py", capsys)
+    assert out.count("payload intact        : True") == 2
+    assert "zero-copy forwarding" in out
+    # both directions reported, the SCI->Myrinet one faster
+    import re
+    bws = [float(m) for m in re.findall(r"one-way bandwidth\s*:\s*([0-9.]+)", out)]
+    assert len(bws) == 2
+    assert bws[0] > bws[1]          # sci->myri first, then myri->sci
+
+
+def test_multi_gateway_routing(capsys):
+    out = run_example("multi_gateway_routing.py", capsys)
+    assert "3 hop(s)" in out
+    assert "intact: True" in out
+    assert out.count("forwarded 1 message(s)") == 2
+
+
+def test_stencil_exchange(capsys):
+    out = run_example("stencil_exchange.py", capsys)
+    assert "iteration 4" in out
+    assert "messages forwarded by the gateway: 10" in out
+
+
+def test_mpi_allreduce(capsys):
+    out = run_example("mpi_allreduce.py", capsys)
+    assert out.count("all ranks agree: True") == 2
+    assert "gateway forwarded" in out
+
+
+def test_rpc_task_farm(capsys):
+    out = run_example("rpc_task_farm.py", capsys)
+    assert "all results correct : True" in out

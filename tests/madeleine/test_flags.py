@@ -1,0 +1,31 @@
+"""Unit tests for pack/unpack flag semantics."""
+
+import pytest
+
+from repro.madeleine import (RECV_CHEAPER, RECV_EXPRESS, SEND_CHEAPER,
+                             SEND_LATER, SEND_SAFER, RecvMode, SendMode,
+                             validate_modes)
+
+
+def test_enum_values_distinct():
+    assert len({SEND_SAFER, SEND_LATER, SEND_CHEAPER}) == 3
+    assert len({RECV_EXPRESS, RECV_CHEAPER}) == 2
+
+
+def test_later_express_contradiction_rejected():
+    with pytest.raises(ValueError):
+        validate_modes(SEND_LATER, RECV_EXPRESS)
+
+
+@pytest.mark.parametrize("smode", list(SendMode))
+@pytest.mark.parametrize("rmode", list(RecvMode))
+def test_all_other_combinations_valid(smode, rmode):
+    if smode == SendMode.LATER and rmode == RecvMode.EXPRESS:
+        return
+    validate_modes(smode, rmode)   # must not raise
+
+
+def test_validate_coerces_ints():
+    validate_modes(2, 1)
+    with pytest.raises(ValueError):
+        validate_modes(99, 1)

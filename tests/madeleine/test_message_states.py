@@ -1,0 +1,124 @@
+"""Message lifecycle state machine: misuse raises clearly."""
+
+import pytest
+
+from repro.hw import build_world
+from repro.madeleine import MessageStateError, Session
+from tests.conftest import payload
+
+
+def pair():
+    w = build_world({"a": ["myrinet"], "b": ["myrinet"]})
+    s = Session(w)
+    ch = s.channel("myrinet", ["a", "b"])
+    return w, s, ch
+
+
+def test_double_end_packing_rejected():
+    w, s, ch = pair()
+
+    def snd():
+        m = ch.endpoint(0).begin_packing(1)
+        m.pack(payload(10))
+        m.end_packing()
+        with pytest.raises(MessageStateError):
+            m.end_packing()
+        yield s.sim.timeout(0)
+
+    def rcv():
+        inc = yield ch.endpoint(1).begin_unpacking()
+        _ev, _b = inc.unpack(10)
+        yield inc.end_unpacking()
+
+    s.spawn(snd()); s.spawn(rcv()); s.run()
+
+
+def test_unpack_after_end_rejected():
+    w, s, ch = pair()
+    hit = {}
+
+    def snd():
+        m = ch.endpoint(0).begin_packing(1)
+        m.pack(payload(10))
+        yield m.end_packing()
+
+    def rcv():
+        inc = yield ch.endpoint(1).begin_unpacking()
+        _ev, _b = inc.unpack(10)
+        inc.end_unpacking()
+        with pytest.raises(MessageStateError):
+            inc.unpack(5)
+        hit["ok"] = True
+        yield s.sim.timeout(0)
+
+    s.spawn(snd()); s.spawn(rcv()); s.run()
+    assert hit["ok"]
+
+
+def test_double_end_unpacking_rejected():
+    w, s, ch = pair()
+    hit = {}
+
+    def snd():
+        m = ch.endpoint(0).begin_packing(1)
+        m.pack(payload(10))
+        yield m.end_packing()
+
+    def rcv():
+        inc = yield ch.endpoint(1).begin_unpacking()
+        _ev, _b = inc.unpack(10)
+        yield inc.end_unpacking()
+        with pytest.raises(MessageStateError):
+            inc.end_unpacking()
+        hit["ok"] = True
+
+    s.spawn(snd()); s.spawn(rcv()); s.run()
+    assert hit["ok"]
+
+
+def test_gtm_pack_after_end_rejected():
+    w = build_world({"m0": ["myrinet"], "gw": ["myrinet", "sci"],
+                     "s0": ["sci"]})
+    s = Session(w)
+    vch = s.virtual_channel([
+        s.channel("myrinet", ["m0", "gw"]),
+        s.channel("sci", ["gw", "s0"]),
+    ])
+    hit = {}
+
+    def snd():
+        m = vch.endpoint(0).begin_packing(2)
+        m.pack(payload(100))
+        m.end_packing()
+        with pytest.raises(MessageStateError):
+            m.pack(payload(5))
+        hit["ok"] = True
+        yield s.sim.timeout(0)
+
+    def rcv():
+        inc = yield vch.endpoint(2).begin_unpacking()
+        _ev, _b = inc.unpack(100)
+        yield inc.end_unpacking()
+
+    s.spawn(snd()); s.spawn(rcv()); s.run()
+    assert hit["ok"]
+
+
+def test_executor_propagates_failure_to_end_event():
+    """A failing op (bad flags) surfaces on the returned event, not as a
+    stray crash."""
+    w, s, ch = pair()
+    hit = {}
+
+    def snd():
+        from repro.madeleine import SEND_LATER, RECV_EXPRESS
+        m = ch.endpoint(0).begin_packing(1)
+        ev = m.pack(payload(10), SEND_LATER, RECV_EXPRESS)   # forbidden combo
+        try:
+            yield ev
+        except ValueError as exc:
+            hit["msg"] = str(exc)
+
+    s.spawn(snd())
+    s.run()
+    assert "LATER" in hit["msg"]

@@ -1,0 +1,85 @@
+"""Unit and property tests for the announce / descriptor wire codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.madeleine import (ANNOUNCE_BYTES, DESC_BYTES, MODE_GTM,
+                             MODE_REGULAR, Announce, Descriptor,
+                             decode_announce, decode_descriptor,
+                             encode_announce, encode_descriptor)
+from repro.madeleine.flags import RecvMode, SendMode
+
+
+def test_sizes_documented():
+    assert ANNOUNCE_BYTES == 12
+    assert DESC_BYTES == 16
+
+
+def test_announce_roundtrip_basic():
+    a = Announce(mode=MODE_GTM, origin=3, final_dst=7, mtu=16 << 10,
+                 msg_id=12345, hops_left=2)
+    assert decode_announce(encode_announce(a)) == a
+
+
+def test_announce_rejects_bad_mode():
+    with pytest.raises(ValueError):
+        Announce(mode=9, origin=0, final_dst=1, mtu=1024, msg_id=1)
+
+
+def test_announce_rejects_unaligned_mtu():
+    with pytest.raises(ValueError):
+        Announce(mode=MODE_REGULAR, origin=0, final_dst=1, mtu=1500, msg_id=1)
+
+
+def test_descriptor_roundtrip_basic():
+    d = Descriptor(length=123456, smode=SendMode.SAFER, rmode=RecvMode.EXPRESS)
+    assert decode_descriptor(encode_descriptor(d)) == d
+
+
+def test_terminator():
+    t = Descriptor(length=0, terminator=True)
+    assert t.is_terminator
+    assert decode_descriptor(encode_descriptor(t)).is_terminator
+    assert not Descriptor(length=1).is_terminator
+    # a genuinely empty data record is NOT a terminator
+    assert not Descriptor(length=0).is_terminator
+    assert not decode_descriptor(
+        encode_descriptor(Descriptor(length=0))).is_terminator
+
+
+def test_terminator_with_payload_rejected():
+    with pytest.raises(ValueError):
+        Descriptor(length=5, terminator=True)
+
+
+def test_decode_ignores_trailing_bytes():
+    d = Descriptor(length=10)
+    raw = encode_descriptor(d) + b"garbage"
+    assert decode_descriptor(raw) == d
+
+
+@given(mode=st.sampled_from([MODE_REGULAR, MODE_GTM]),
+       origin=st.integers(0, 65535),
+       final_dst=st.integers(0, 65535),
+       mtu_kb=st.integers(0, 65535),
+       msg_id=st.integers(0, 2**32 - 1),
+       hops=st.integers(0, 255))
+def test_announce_roundtrip_property(mode, origin, final_dst, mtu_kb,
+                                     msg_id, hops):
+    a = Announce(mode=mode, origin=origin, final_dst=final_dst,
+                 mtu=mtu_kb * 1024, msg_id=msg_id, hops_left=hops)
+    assert decode_announce(encode_announce(a)) == a
+
+
+@given(length=st.integers(0, 2**32 - 1),
+       smode=st.sampled_from(list(SendMode)),
+       rmode=st.sampled_from(list(RecvMode)),
+       terminator=st.booleans())
+def test_descriptor_roundtrip_property(length, smode, rmode, terminator):
+    if terminator:
+        length = 0
+    d = Descriptor(length=length, smode=smode, rmode=rmode,
+                   terminator=terminator)
+    got = decode_descriptor(encode_descriptor(d))
+    assert got == d
+    assert got.is_terminator == terminator

@@ -1,0 +1,121 @@
+"""Unit tests for Buffer and copy accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory import (Buffer, CopyAccounting, DYNAMIC, STATIC, as_payload)
+
+
+def test_alloc_zeroed():
+    b = Buffer.alloc(16)
+    assert len(b) == 16
+    assert b.tobytes() == b"\x00" * 16
+    assert b.kind == DYNAMIC
+
+
+def test_alloc_negative_rejected():
+    with pytest.raises(ValueError):
+        Buffer.alloc(-1)
+
+
+def test_bad_kind_rejected():
+    with pytest.raises(ValueError):
+        Buffer(np.zeros(4, dtype=np.uint8), kind="magic")
+
+
+def test_wrap_bytes_no_copy_semantics():
+    arr = np.arange(10, dtype=np.uint8)
+    b = Buffer.wrap(arr)
+    arr[0] = 99
+    assert b.data[0] == 99   # shares memory
+
+
+def test_as_payload_views_other_dtypes():
+    arr = np.arange(4, dtype=np.uint32)
+    p = as_payload(arr)
+    assert p.dtype == np.uint8
+    assert len(p) == 16
+
+
+def test_view_is_zero_copy():
+    b = Buffer.alloc(100)
+    v = b.view(10, 20)
+    assert len(v) == 10
+    assert v.shares_memory_with(b)
+    v.data[:] = 7
+    assert b.data[10] == 7
+    assert b.data[9] == 0
+
+
+def test_view_bounds_checked():
+    b = Buffer.alloc(10)
+    with pytest.raises(IndexError):
+        b.view(5, 20)
+    with pytest.raises(IndexError):
+        b.view(-1, 5)
+    with pytest.raises(IndexError):
+        b.view(7, 3)
+
+
+def test_view_inherits_kind():
+    b = Buffer(np.zeros(8, dtype=np.uint8), kind=STATIC)
+    assert b.view(0, 4).kind == STATIC
+
+
+def test_copy_from_counts():
+    acc = CopyAccounting()
+    src = Buffer.wrap(np.arange(50, dtype=np.uint8))
+    dst = Buffer.alloc(50)
+    dst.copy_from(src, acc, t=3.0, label="test")
+    assert (dst.data == src.data).all()
+    assert acc.copies == 1
+    assert acc.bytes_copied == 50
+    assert acc.samples[0].t == 3.0
+    assert acc.samples[0].label == "test"
+
+
+def test_copy_from_size_mismatch():
+    acc = CopyAccounting()
+    with pytest.raises(ValueError):
+        Buffer.alloc(10).copy_from(Buffer.alloc(11), acc, 0.0, "x")
+
+
+def test_fill_from_bytes():
+    acc = CopyAccounting()
+    b = Buffer.alloc(8)
+    b.fill_from_bytes(b"abc", acc, 0.0, "hdr")
+    assert b.tobytes()[:3] == b"abc"
+    assert acc.bytes_copied == 3
+    with pytest.raises(ValueError):
+        Buffer.alloc(2).fill_from_bytes(b"toolong", acc, 0.0, "hdr")
+
+
+def test_accounting_by_label_and_reset():
+    acc = CopyAccounting()
+    b = Buffer.alloc(4)
+    s = Buffer.alloc(4)
+    b.copy_from(s, acc, 0.0, "a")
+    b.copy_from(s, acc, 1.0, "a")
+    b.copy_from(s, acc, 2.0, "b")
+    assert acc.by_label() == {"a": (2, 8), "b": (1, 4)}
+    acc.reset()
+    assert acc.copies == 0 and acc.bytes_copied == 0 and not acc.samples
+
+
+def test_accounting_without_samples():
+    acc = CopyAccounting(keep_samples=False)
+    Buffer.alloc(4).copy_from(Buffer.alloc(4), acc, 0.0, "x")
+    assert acc.copies == 1
+    assert acc.samples == []
+
+
+@given(st.integers(0, 200), st.integers(0, 200))
+def test_view_roundtrip_property(start, stop):
+    b = Buffer.wrap(np.arange(200, dtype=np.uint8))
+    if 0 <= start <= stop <= 200:
+        v = b.view(start, stop)
+        assert v.tobytes() == b.tobytes()[start:stop]
+    else:
+        with pytest.raises(IndexError):
+            b.view(start, stop)

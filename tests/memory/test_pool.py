@@ -1,0 +1,118 @@
+"""Unit tests for static buffer pools."""
+
+import pytest
+
+from repro.memory import Buffer, PoolExhausted, StaticBufferPool, STATIC
+from repro.sim import Simulator
+
+
+def test_pool_basic_acquire_release(sim):
+    pool = StaticBufferPool(sim, count=2, block_size=64, name="p")
+    got = []
+
+    def proc():
+        b = yield pool.acquire()
+        got.append(b)
+        pool.release(b)
+
+    sim.process(proc())
+    sim.run()
+    assert len(got) == 1
+    assert got[0].kind == STATIC
+    assert len(got[0]) == 64
+    assert pool.available == 2
+
+
+def test_pool_blocks_when_exhausted(sim):
+    pool = StaticBufferPool(sim, count=1, block_size=8)
+    times = []
+
+    def holder():
+        b = yield pool.acquire()
+        yield sim.timeout(10)
+        pool.release(b)
+
+    def waiter():
+        b = yield pool.acquire()
+        times.append(sim.now)
+        pool.release(b)
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run()
+    assert times == [10.0]
+
+
+def test_pool_try_acquire(sim):
+    pool = StaticBufferPool(sim, count=1, block_size=8)
+    b = pool.try_acquire()
+    with pytest.raises(PoolExhausted):
+        pool.try_acquire()
+    pool.release(b)
+    assert pool.available == 1
+
+
+def test_pool_foreign_release_rejected(sim):
+    pool = StaticBufferPool(sim, count=1, block_size=8)
+    other = Buffer.alloc(8)
+    with pytest.raises(ValueError):
+        pool.release(other)
+
+
+def test_pool_double_release_rejected(sim):
+    pool = StaticBufferPool(sim, count=1, block_size=8)
+    b = pool.try_acquire()
+    pool.release(b)
+    with pytest.raises(ValueError):
+        pool.release(b)
+
+
+def test_pool_release_hands_to_waiter_directly(sim):
+    pool = StaticBufferPool(sim, count=1, block_size=8)
+    order = []
+
+    def holder():
+        b = yield pool.acquire()
+        yield sim.timeout(5)
+        pool.release(b)
+        order.append(("released", sim.now))
+
+    def waiter():
+        yield sim.timeout(1)
+        b = yield pool.acquire()
+        order.append(("acquired", sim.now))
+        pool.release(b)
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run()
+    assert order == [("released", 5.0), ("acquired", 5.0)]
+
+
+def test_pool_validation(sim):
+    with pytest.raises(ValueError):
+        StaticBufferPool(sim, count=0, block_size=8)
+    with pytest.raises(ValueError):
+        StaticBufferPool(sim, count=1, block_size=0)
+
+
+def test_pool_fifo_fairness(sim):
+    pool = StaticBufferPool(sim, count=1, block_size=8)
+    order = []
+
+    def holder():
+        b = yield pool.acquire()
+        yield sim.timeout(2)
+        pool.release(b)
+
+    def waiter(tag, delay):
+        yield sim.timeout(delay)
+        b = yield pool.acquire()
+        order.append(tag)
+        pool.release(b)
+
+    sim.process(holder())
+    sim.process(waiter("first", 0.5))
+    sim.process(waiter("second", 1.0))
+    sim.run()
+    assert order == ["first", "second"]

@@ -1,0 +1,156 @@
+"""Unit and property tests for route computation and MTU negotiation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import build_world
+from repro.madeleine import RealChannel, Session
+from repro.routing import (Hop, NoRouteError, RouteTable, build_graph,
+                           gateway_ranks, negotiate_mtu)
+
+
+def paper_channels():
+    w = build_world({"m0": ["myrinet"], "gw": ["myrinet", "sci"],
+                     "s0": ["sci"]})
+    s = Session(w)
+    myri = s.channel("myrinet", ["m0", "gw"])
+    sci = s.channel("sci", ["gw", "s0"])
+    return w, myri, sci
+
+
+def test_direct_route_single_hop():
+    _w, myri, sci = paper_channels()
+    rt = RouteTable([myri, sci])
+    route = rt.route(0, 1)
+    assert len(route) == 1
+    assert route[0].channel is myri
+
+
+def test_forwarded_route_two_hops():
+    _w, myri, sci = paper_channels()
+    rt = RouteTable([myri, sci])
+    route = rt.route(0, 2)
+    assert [h.src for h in route] == [0, 1]
+    assert [h.dst for h in route] == [1, 2]
+    assert route[0].channel is myri
+    assert route[1].channel is sci
+
+
+def test_route_to_self_rejected():
+    _w, myri, sci = paper_channels()
+    rt = RouteTable([myri, sci])
+    with pytest.raises(ValueError):
+        rt.route(1, 1)
+
+
+def test_no_route_detected():
+    w = build_world({"a": ["myrinet"], "b": ["myrinet"],
+                     "c": ["sci"], "d": ["sci"]})
+    s = Session(w)
+    myri = s.channel("myrinet", ["a", "b"])
+    sci = s.channel("sci", ["c", "d"])
+    rt = RouteTable([myri, sci])   # disconnected: no shared node
+    with pytest.raises(NoRouteError):
+        rt.route(0, 2)
+
+
+def test_unknown_rank_detected():
+    _w, myri, sci = paper_channels()
+    rt = RouteTable([myri])
+    with pytest.raises(NoRouteError):
+        rt.route(0, 2)
+
+
+def test_gateway_ranks_paper_testbed():
+    _w, myri, sci = paper_channels()
+    assert gateway_ranks([myri, sci]) == [1]
+
+
+def test_next_hop_consistent_with_route():
+    _w, myri, sci = paper_channels()
+    rt = RouteTable([myri, sci])
+    full = rt.route(0, 2)
+    assert rt.next_hop(1, 2) == full[1]
+
+
+def test_three_cluster_chain_route():
+    w = build_world({
+        "a0": ["myrinet"], "gw1": ["myrinet", "sci"],
+        "gw2": ["sci", "sbp"], "c0": ["sbp"],
+    })
+    s = Session(w)
+    chans = [s.channel("myrinet", ["a0", "gw1"]),
+             s.channel("sci", ["gw1", "gw2"]),
+             s.channel("sbp", ["gw2", "c0"])]
+    rt = RouteTable(chans)
+    route = rt.route(0, 3)
+    assert [(h.src, h.dst) for h in route] == [(0, 1), (1, 2), (2, 3)]
+    assert gateway_ranks(chans) == [1, 2]
+
+
+def test_parallel_channels_deterministic_choice():
+    w = build_world({"a": ["myrinet"], "b": ["myrinet"]})
+    s = Session(w)
+    ch1 = s.channel("myrinet", ["a", "b"], name="alpha")
+    ch2 = s.channel("myrinet", ["a", "b"], name="beta")
+    rt = RouteTable([ch2, ch1])
+    assert rt.route(0, 1)[0].channel.id == "alpha"   # lexicographic tie-break
+
+
+def test_graph_shape():
+    _w, myri, sci = paper_channels()
+    g = build_graph([myri, sci])
+    assert set(g.nodes) == {0, 1, 2}
+    assert g.number_of_edges() == 2
+
+
+def test_negotiate_mtu_respects_protocol_limits():
+    _w, myri, sci = paper_channels()
+    rt = RouteTable([myri, sci])
+    route = rt.route(0, 2)
+    # SCI caps fragments at 128 KB.
+    assert negotiate_mtu(route, 1 << 20) == 128 << 10
+    assert negotiate_mtu(route, 16 << 10) == 16 << 10
+
+
+def test_negotiate_mtu_alignment():
+    _w, myri, sci = paper_channels()
+    rt = RouteTable([myri, sci])
+    route = rt.route(0, 2)
+    assert negotiate_mtu(route, 10000) == 9216   # rounded down to KB
+
+
+def test_negotiate_mtu_too_small_rejected():
+    with pytest.raises(ValueError):
+        negotiate_mtu([], 100)
+
+
+@given(n_nodes=st.integers(3, 8), seed=st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_random_chain_routes_are_loop_free(n_nodes, seed):
+    """On a random chain of clusters, every route visits each rank at most
+    once and consecutive hops share the intermediate rank."""
+    import random
+    rng = random.Random(seed)
+    protos = ["myrinet", "sci", "sbp"]
+    adapters = {}
+    chans_spec = []
+    for i in range(n_nodes - 1):
+        p = protos[rng.randrange(3)]
+        chans_spec.append((p, [i, i + 1]))
+        adapters.setdefault(f"n{i}", []).append(p)
+        adapters.setdefault(f"n{i+1}", []).append(p)
+    w = build_world(adapters)
+    s = Session(w)
+    chans = [s.channel(p, m) for p, m in chans_spec]
+    rt = RouteTable(chans)
+    for src in range(n_nodes):
+        for dst in range(n_nodes):
+            if src == dst:
+                continue
+            route = rt.route(src, dst)
+            ranks = [route[0].src] + [h.dst for h in route]
+            assert ranks[0] == src and ranks[-1] == dst
+            assert len(set(ranks)) == len(ranks)
+            for h1, h2 in zip(route, route[1:]):
+                assert h1.dst == h2.src

@@ -1,0 +1,307 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (AllOf, AnyOf, DeadlockError, Event, ProcessCrashed,
+                       SchedulingError, Simulator)
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock(sim):
+    log = []
+
+    def proc():
+        yield sim.timeout(5.5)
+        log.append(sim.now)
+        yield sim.timeout(0.5)
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert log == [5.5, 6.0]
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_timeout_value_passed_through(sim):
+    got = []
+
+    def proc():
+        v = yield sim.timeout(1, value="hello")
+        got.append(v)
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_event_succeed_wakes_waiter(sim):
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        v = yield ev
+        got.append((v, sim.now))
+
+    def firer():
+        yield sim.timeout(3)
+        ev.succeed(42)
+
+    sim.process(waiter())
+    sim.process(firer())
+    sim.run()
+    assert got == [(42, 3.0)]
+
+
+def test_event_double_trigger_rejected(sim):
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SchedulingError):
+        ev.succeed()
+
+
+def test_event_fail_requires_exception(sim):
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_event_fail_propagates_into_process(sim):
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def firer():
+        yield sim.timeout(1)
+        ev.fail(RuntimeError("boom"))
+
+    sim.process(waiter())
+    sim.process(firer())
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_event_failure_raises_at_run(sim):
+    ev = sim.event()
+
+    def firer():
+        yield sim.timeout(1)
+        ev.fail(RuntimeError("unhandled"))
+
+    sim.process(firer())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_process_return_value(sim):
+    def child():
+        yield sim.timeout(2)
+        return "result"
+
+    def parent():
+        v = yield sim.process(child())
+        return v
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == "result"
+
+
+def test_process_crash_surfaces_with_name(sim):
+    def bad():
+        yield sim.timeout(1)
+        raise ValueError("broken")
+
+    sim.process(bad(), name="badproc")
+    with pytest.raises(ProcessCrashed, match="badproc"):
+        sim.run()
+
+
+def test_process_waiting_on_crashed_process_gets_exception(sim):
+    def bad():
+        yield sim.timeout(1)
+        raise ValueError("inner")
+
+    caught = []
+
+    def parent():
+        try:
+            yield sim.process(bad())
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(parent())
+    sim.run()
+    assert caught == ["inner"]
+
+
+def test_yielding_non_event_is_an_error(sim):
+    def bad():
+        yield 42
+
+    sim.process(bad(), name="yields-int")
+    with pytest.raises(ProcessCrashed):
+        sim.run()
+
+
+def test_non_generator_process_rejected(sim):
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_determinism_same_time_fifo(sim):
+    """Events scheduled for the same instant run in scheduling order."""
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1)
+        order.append(tag)
+
+    for i in range(10):
+        sim.process(proc(i))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_run_until_time(sim):
+    log = []
+
+    def proc():
+        for _ in range(10):
+            yield sim.timeout(1)
+            log.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=4.5)
+    assert log == [1, 2, 3, 4]
+    assert sim.now == 4.5
+    sim.run()
+    assert log[-1] == 10
+
+
+def test_run_until_past_time_rejected(sim):
+    sim.run(until=5)
+    with pytest.raises(ValueError):
+        sim.run(until=3)
+
+
+def test_run_until_event_returns_value(sim):
+    def proc():
+        yield sim.timeout(7)
+        return "done"
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == "done"
+    assert sim.now == 7
+
+
+def test_run_until_event_deadlock_detected(sim):
+    ev = sim.event()
+    with pytest.raises(DeadlockError):
+        sim.run(until=ev)
+
+
+def test_run_until_already_processed_event(sim):
+    def proc():
+        yield sim.timeout(1)
+        return 5
+
+    p = sim.process(proc())
+    sim.run()
+    assert sim.run(until=p) == 5
+
+
+def test_all_of_collects_values(sim):
+    def child(delay, v):
+        yield sim.timeout(delay)
+        return v
+
+    def parent():
+        vals = yield sim.all_of([sim.process(child(3, "a")),
+                                 sim.process(child(1, "b"))])
+        return (vals, sim.now)
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == (["a", "b"], 3.0)
+
+
+def test_all_of_empty(sim):
+    ev = AllOf(sim, [])
+    assert ev.triggered
+    sim.run()
+    assert ev.value == []
+
+
+def test_all_of_fails_fast(sim):
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("x")
+
+    def slow():
+        yield sim.timeout(100)
+
+    caught = []
+
+    def parent():
+        try:
+            yield sim.all_of([sim.process(bad()), sim.process(slow())])
+        except RuntimeError:
+            caught.append(sim.now)
+
+    sim.process(parent())
+    sim.run()
+    assert caught == [1.0]
+
+
+def test_any_of_first_wins(sim):
+    def child(delay, v):
+        yield sim.timeout(delay)
+        return v
+
+    def parent():
+        idx, val = yield sim.any_of([sim.process(child(5, "slow")),
+                                     sim.process(child(2, "fast"))])
+        return (idx, val, sim.now)
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == (1, "fast", 2.0)
+
+
+def test_any_of_requires_events(sim):
+    with pytest.raises(ValueError):
+        AnyOf(sim, [])
+
+
+def test_peek(sim):
+    assert sim.peek() == float("inf")
+    sim.timeout(9)
+    assert sim.peek() == 9
+
+
+def test_callbacks_after_processing_run_immediately(sim):
+    ev = sim.timeout(1, value="v")
+    sim.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_event_value_before_trigger_raises(sim):
+    ev = sim.event()
+    with pytest.raises(SchedulingError):
+        _ = ev.value
+    with pytest.raises(SchedulingError):
+        _ = ev.ok

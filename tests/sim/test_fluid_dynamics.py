@@ -1,0 +1,87 @@
+"""Time-domain property tests of the fluid scheduler: random arrival
+schedules must conserve bytes and finish in bounded time."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import DMA, PIO, FluidNetwork, FluidResource, Simulator
+
+
+@st.composite
+def schedules(draw):
+    n_res = draw(st.integers(1, 3))
+    caps = [draw(st.floats(5.0, 200.0)) for _ in range(n_res)]
+    slow = draw(st.floats(1.0, 3.0))
+    n_flows = draw(st.integers(1, 10))
+    flows = []
+    for _ in range(n_flows):
+        start = draw(st.floats(0.0, 100.0))
+        size = draw(st.floats(1.0, 5e4))
+        peak = draw(st.floats(1.0, 150.0))
+        hops = draw(st.lists(
+            st.tuples(st.integers(0, n_res - 1), st.sampled_from([DMA, PIO])),
+            min_size=1, max_size=n_res, unique_by=lambda h: h[0]))
+        flows.append((start, size, peak, hops))
+    return caps, slow, flows
+
+
+@given(schedules())
+@settings(max_examples=120, deadline=None)
+def test_random_schedule_conserves_bytes(data):
+    caps, slow, flow_specs = data
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    resources = [FluidResource(f"r{i}", c, preempt_slowdown=slow)
+                 for i, c in enumerate(caps)]
+    completions = {}
+    moved = {}
+
+    def launch(idx, start, size, peak, hops):
+        def proc():
+            yield sim.timeout(start)
+            path = [(resources[i], kind) for i, kind in hops]
+            ev = net.transfer(f"f{idx}", size, path, peak=peak)
+            flow = yield ev
+            completions[idx] = sim.now
+            moved[idx] = flow.size - flow.remaining
+        return proc
+
+    for idx, (start, size, peak, hops) in enumerate(flow_specs):
+        sim.process(launch(idx, start, size, peak, hops)())
+    sim.run()
+    # every flow completed and moved exactly its bytes
+    assert len(completions) == len(flow_specs)
+    for idx, (start, size, peak, hops) in enumerate(flow_specs):
+        assert moved[idx] == pytest.approx(size, rel=1e-6, abs=1e-6)
+        # lower bound: can't beat the standalone peak / tightest capacity
+        best_rate = min([peak] + [caps[i] for i, _k in hops])
+        assert completions[idx] >= start + size / best_rate - 1e-6
+        # upper bound: even time-sliced fairly with every other flow the
+        # finish time is bounded (slowdown x (n flows) x serial time)
+        n = len(flow_specs)
+        worst_rate = best_rate / (slow * n)
+        latest_start = max(s for s, *_ in flow_specs)
+        assert completions[idx] <= latest_start + size / worst_rate + 1e-6
+
+
+@given(st.integers(2, 12), st.floats(10.0, 100.0))
+@settings(max_examples=40, deadline=None)
+def test_staggered_equal_flows_finish_in_arrival_order(n, cap):
+    """Equal-size flows arriving one after another through one resource
+    must complete in arrival order (max-min fairness never reorders)."""
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    r = FluidResource("r", cap)
+    done_order = []
+
+    def launch(idx):
+        def proc():
+            yield sim.timeout(idx * 10.0)
+            yield net.transfer(f"f{idx}", 1000.0, [(r, DMA)], peak=cap)
+            done_order.append(idx)
+        return proc
+
+    for i in range(n):
+        sim.process(launch(i)())
+    sim.run()
+    assert done_order == sorted(done_order)

@@ -1,0 +1,58 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim import TraceRecorder
+
+
+def test_emit_and_len():
+    tr = TraceRecorder()
+    tr.emit(1.0, "gw", "recv", nbytes=10)
+    tr.emit(2.0, "gw", "send", nbytes=10)
+    assert len(tr) == 2
+
+
+def test_disabled_recorder_drops_records():
+    tr = TraceRecorder(enabled=False)
+    tr.emit(1.0, "gw", "recv")
+    assert len(tr) == 0
+
+
+def test_query_by_category_event_and_attrs():
+    tr = TraceRecorder()
+    tr.emit(1.0, "gw", "recv", msg=1)
+    tr.emit(2.0, "gw", "recv", msg=2)
+    tr.emit(3.0, "nic", "recv", msg=1)
+    assert len(tr.query(category="gw")) == 2
+    assert len(tr.query(event="recv")) == 3
+    assert len(tr.query(category="gw", msg=1)) == 1
+    assert tr.query(category="gw", msg=1)[0].t == 1.0
+
+
+def test_record_getitem():
+    tr = TraceRecorder()
+    tr.emit(1.0, "c", "e", key="v")
+    assert tr.records[0]["key"] == "v"
+
+
+def test_intervals_pairing():
+    tr = TraceRecorder()
+    tr.emit(1.0, "gw", "start", seq=0)
+    tr.emit(3.0, "gw", "end", seq=0)
+    tr.emit(2.0, "gw", "start", seq=1)
+    tr.emit(5.0, "gw", "end", seq=1)
+    tr.emit(6.0, "gw", "start", seq=2)   # never ends
+    ivals = tr.intervals("gw", "start", "end", key="seq")
+    assert ivals == [(0, 1.0, 3.0), (1, 2.0, 5.0)]
+
+
+def test_clear():
+    tr = TraceRecorder()
+    tr.emit(1.0, "a", "b")
+    tr.clear()
+    assert len(tr) == 0
+
+
+def test_iteration():
+    tr = TraceRecorder()
+    tr.emit(1.0, "a", "x")
+    tr.emit(2.0, "a", "y")
+    assert [r.event for r in tr] == ["x", "y"]

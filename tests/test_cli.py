@@ -1,0 +1,57 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import _parse_size, _parse_sizes, main
+
+
+def test_parse_size():
+    assert _parse_size("4") == 4
+    assert _parse_size("8K") == 8192
+    assert _parse_size("2M") == 2 << 20
+    assert _parse_size("1.5K") == 1536
+    with pytest.raises(Exception):
+        _parse_size("oops")
+
+
+def test_parse_sizes():
+    assert _parse_sizes("1K,2K") == [1024, 2048]
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "myrinet" in out and "pio" in out
+
+
+def test_ping(capsys):
+    assert main(["ping", "--size", "256K", "--packet", "32K"]) == 0
+    out = capsys.readouterr().out
+    assert "bandwidth" in out and "MB/s" in out
+
+
+def test_raw(capsys):
+    assert main(["raw", "--protocol", "sci", "--sizes", "8K,64K"]) == 0
+    out = capsys.readouterr().out
+    assert "raw one-way bandwidth, sci" in out
+
+
+def test_raw_unknown_protocol(capsys):
+    assert main(["raw", "--protocol", "warp"]) == 2
+
+
+def test_fig6_small(capsys):
+    assert main(["fig6", "--packets", "16K", "--sizes", "64K,256K"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out
+    assert "paquet 16 KB" in out
+
+
+def test_fig7_small(capsys):
+    assert main(["fig7", "--packets", "16K", "--sizes", "64K"]) == 0
+    assert "Figure 7" in capsys.readouterr().out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

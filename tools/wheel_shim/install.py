@@ -1,0 +1,59 @@
+"""Install the offline ``wheel`` shim into the active interpreter.
+
+Usage: ``python tools/wheel_shim/install.py``
+
+Copies the ``wheel`` package next to this script into site-packages and
+writes a ``wheel-0.38.4.dist-info`` so pip and setuptools discover it
+(including the ``distutils.commands`` entry point for ``bdist_wheel``).
+Does nothing if a real ``wheel`` distribution is already importable.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import site
+import sys
+
+
+def main() -> int:
+    here = os.path.dirname(os.path.abspath(__file__))
+    # sys.path[0] is this script's directory, which contains the shim source
+    # itself — remove it so the availability check sees only installed copies.
+    sys.path = [p for p in sys.path if os.path.abspath(p or os.getcwd()) != here]
+    try:
+        import wheel  # noqa: F401
+        print(f"wheel already available ({wheel.__version__}); nothing to do")
+        return 0
+    except ImportError:
+        pass
+    src = os.path.join(here, "wheel")
+    target_dir = site.getsitepackages()[0]
+    dst = os.path.join(target_dir, "wheel")
+    shutil.copytree(src, dst, dirs_exist_ok=True)
+
+    dist_info = os.path.join(target_dir, "wheel-0.38.4.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w", encoding="utf-8") as fh:
+        fh.write(
+            "Metadata-Version: 2.1\n"
+            "Name: wheel\n"
+            "Version: 0.38.4\n"
+            "Summary: offline shim providing bdist_wheel and WheelFile\n"
+        )
+    with open(os.path.join(dist_info, "entry_points.txt"), "w",
+              encoding="utf-8") as fh:
+        fh.write(
+            "[distutils.commands]\n"
+            "bdist_wheel = wheel.bdist_wheel:bdist_wheel\n"
+        )
+    with open(os.path.join(dist_info, "INSTALLER"), "w", encoding="utf-8") as fh:
+        fh.write("wheel_shim\n")
+    with open(os.path.join(dist_info, "RECORD"), "w", encoding="utf-8") as fh:
+        fh.write("")
+    print(f"installed wheel shim into {target_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Minimal offline stand-in for the PyPA ``wheel`` package.
+
+Provides just enough surface (``wheel.wheelfile.WheelFile`` and
+``wheel.bdist_wheel.bdist_wheel``) for setuptools to build regular and
+PEP 660 editable wheels of *pure-Python* projects in environments without
+network access.  Installed by ``tools/wheel_shim/install.py``.
+"""
+
+__version__ = "0.38.4"

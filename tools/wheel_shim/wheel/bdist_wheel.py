@@ -1,0 +1,157 @@
+"""Minimal ``bdist_wheel`` distutils command for pure-Python projects."""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+
+from distutils import log
+from distutils.core import Command
+
+from .wheelfile import WheelFile
+
+
+def _safe_name(name: str) -> str:
+    return re.sub(r"[^\w\d.]+", "_", name, flags=re.UNICODE)
+
+
+def _safe_version(version: str) -> str:
+    return _safe_name(version.replace(" ", "."))
+
+
+def _convert_requires(requires_txt: str) -> list[str]:
+    """Translate an egg-info requires.txt into METADATA Requires-Dist and
+    Provides-Extra lines."""
+    lines: list[str] = []
+    extra = None
+    marker = None
+    for raw in requires_txt.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1]
+            if ":" in section:
+                extra, marker = section.split(":", 1)
+            else:
+                extra, marker = section, None
+            extra = extra.strip() or None
+            if extra:
+                lines.append(f"Provides-Extra: {extra}")
+            continue
+        conditions = []
+        if extra:
+            conditions.append(f'extra == "{extra}"')
+        if marker:
+            conditions.append(f"({marker.strip()})")
+        if conditions:
+            lines.append(f"Requires-Dist: {line} ; {' and '.join(conditions)}")
+        else:
+            lines.append(f"Requires-Dist: {line}")
+    return lines
+
+
+class bdist_wheel(Command):
+    """Build a py3-none-any wheel (offline shim; no C extensions)."""
+
+    description = "create a wheel distribution (minimal offline shim)"
+
+    user_options = [
+        ("bdist-dir=", "b", "temporary directory for creating the distribution"),
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("keep-temp", "k", "keep the pseudo-installation tree"),
+        ("universal", None, "ignored (compatibility)"),
+        ("python-tag=", None, "ignored (compatibility)"),
+    ]
+    boolean_options = ["keep-temp", "universal"]
+
+    def initialize_options(self) -> None:
+        self.bdist_dir = None
+        self.dist_dir = None
+        self.keep_temp = False
+        self.universal = False
+        self.python_tag = "py3"
+
+    def finalize_options(self) -> None:
+        if self.bdist_dir is None:
+            bdist_base = self.get_finalized_command("bdist").bdist_base
+            self.bdist_dir = os.path.join(bdist_base, "wheel")
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+
+    # -- helpers used by setuptools (dist_info / editable_wheel) ------------
+    @property
+    def wheel_dist_name(self) -> str:
+        return "-".join((
+            _safe_name(self.distribution.get_name()),
+            _safe_version(self.distribution.get_version()),
+        ))
+
+    def get_tag(self) -> tuple[str, str, str]:
+        return ("py3", "none", "any")
+
+    def write_wheelfile(self, wheelfile_base: str,
+                        generator: str = "bdist_wheel-shim") -> None:
+        content = (
+            "Wheel-Version: 1.0\n"
+            f"Generator: {generator}\n"
+            "Root-Is-Purelib: true\n"
+            f"Tag: {'-'.join(self.get_tag())}\n"
+        )
+        with open(os.path.join(wheelfile_base, "WHEEL"), "w",
+                  encoding="utf-8") as fh:
+            fh.write(content)
+
+    def egg2dist(self, egginfo_path: str, distinfo_path: str) -> None:
+        """Convert an .egg-info directory into a .dist-info directory."""
+        os.makedirs(distinfo_path, exist_ok=True)
+        pkg_info = os.path.join(egginfo_path, "PKG-INFO")
+        metadata_lines: list[str] = []
+        if os.path.exists(pkg_info):
+            with open(pkg_info, encoding="utf-8") as fh:
+                metadata = fh.read()
+        else:  # pragma: no cover - egg_info always writes PKG-INFO
+            metadata = "Metadata-Version: 2.1\nName: unknown\nVersion: 0\n"
+        requires = os.path.join(egginfo_path, "requires.txt")
+        if os.path.exists(requires):
+            with open(requires, encoding="utf-8") as fh:
+                metadata_lines = _convert_requires(fh.read())
+        if metadata_lines:
+            head, sep, body = metadata.partition("\n\n")
+            metadata = head + "\n" + "\n".join(metadata_lines) + sep + body
+        with open(os.path.join(distinfo_path, "METADATA"), "w",
+                  encoding="utf-8") as fh:
+            fh.write(metadata)
+        for extra in ("entry_points.txt", "top_level.txt"):
+            src = os.path.join(egginfo_path, extra)
+            if os.path.exists(src):
+                shutil.copy2(src, os.path.join(distinfo_path, extra))
+        shutil.rmtree(egginfo_path, ignore_errors=True)
+
+    # -- full wheel build (pip install . / pip wheel) ------------------------
+    def run(self) -> None:
+        build = self.reinitialize_command("build", reinit_subcommands=True)
+        build.build_lib = os.path.join(self.bdist_dir, "lib")
+        self.run_command("build")
+
+        egg_info = self.get_finalized_command("egg_info")
+        egg_info.run()
+
+        distinfo_dirname = f"{self.wheel_dist_name}.dist-info"
+        distinfo_path = os.path.join(build.build_lib, distinfo_dirname)
+        self.egg2dist(egg_info.egg_info, distinfo_path)
+        self.write_wheelfile(distinfo_path)
+
+        os.makedirs(self.dist_dir, exist_ok=True)
+        archive = os.path.join(
+            self.dist_dir, f"{self.wheel_dist_name}-{'-'.join(self.get_tag())}.whl")
+        if os.path.exists(archive):
+            os.unlink(archive)
+        log.info("creating %s", archive)
+        with WheelFile(archive, "w") as wf:
+            wf.write_files(build.build_lib)
+        # Expose the result where setuptools' build_meta looks for it.
+        self.distribution.dist_files.append(("bdist_wheel", "any", archive))
+        if not self.keep_temp:
+            shutil.rmtree(self.bdist_dir, ignore_errors=True)

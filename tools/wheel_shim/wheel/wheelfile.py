@@ -1,0 +1,82 @@
+"""A ZipFile subclass that maintains the wheel RECORD manifest."""
+
+from __future__ import annotations
+
+import base64
+import csv
+import hashlib
+import io
+import os
+import re
+import zipfile
+
+_WHEEL_NAME_RE = re.compile(
+    r"^(?P<name>[^-]+)-(?P<version>[^-]+?)"
+    r"(-(?P<build>\d[^-]*))?-(?P<pytag>[^-]+)-(?P<abi>[^-]+)-(?P<plat>[^-]+)\.whl$"
+)
+
+
+def _hash_entry(data: bytes) -> tuple[str, int]:
+    digest = hashlib.sha256(data).digest()
+    b64 = base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+    return f"sha256={b64}", len(data)
+
+
+class WheelFile(zipfile.ZipFile):
+    """Read/write access to a .whl archive with automatic RECORD handling."""
+
+    def __init__(self, file, mode: str = "r",
+                 compression: int = zipfile.ZIP_DEFLATED) -> None:
+        basename = os.path.basename(str(file))
+        match = _WHEEL_NAME_RE.match(basename)
+        if not match:
+            raise ValueError(f"bad wheel filename: {basename!r}")
+        self.parsed_filename = match
+        self.dist_info_path = f"{match.group('name')}-{match.group('version')}.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._records: list[tuple[str, str, str]] = []
+        super().__init__(file, mode=mode, compression=compression, allowZip64=True)
+
+    # -- writing -----------------------------------------------------------
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs):  # noqa: D102
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        arcname = (zinfo_or_arcname.filename
+                   if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+                   else str(zinfo_or_arcname))
+        if arcname != self.record_path:
+            h, size = _hash_entry(data)
+            self._records.append((arcname, h, str(size)))
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+
+    def write(self, filename, arcname=None, *args, **kwargs):  # noqa: D102
+        arcname = str(arcname if arcname is not None else filename)
+        with open(filename, "rb") as fh:
+            data = fh.read()
+        if arcname != self.record_path:
+            h, size = _hash_entry(data)
+            self._records.append((arcname, h, str(size)))
+        super().write(filename, arcname, *args, **kwargs)
+
+    def write_files(self, base_dir) -> None:
+        """Add every file under ``base_dir`` (sorted, deterministic)."""
+        base_dir = str(base_dir)
+        paths = []
+        for root, _dirs, files in os.walk(base_dir):
+            for name in files:
+                full = os.path.join(root, name)
+                rel = os.path.relpath(full, base_dir).replace(os.sep, "/")
+                paths.append((rel, full))
+        for rel, full in sorted(paths):
+            if rel != self.record_path:
+                self.write(full, rel)
+
+    def close(self) -> None:  # noqa: D102
+        if self.fp is not None and self.mode == "w":
+            buf = io.StringIO()
+            writer = csv.writer(buf, delimiter=",", quotechar='"', lineterminator="\n")
+            for row in self._records:
+                writer.writerow(row)
+            writer.writerow((self.record_path, "", ""))
+            super().writestr(self.record_path, buf.getvalue().encode("utf-8"))
+        super().close()
