@@ -1,0 +1,122 @@
+"""Extension bench — fault-tolerance cost and failover recovery latency.
+
+The paper's forwarding mechanism assumes reliable rails; this bench
+measures what the reliability extension costs when they are not.  Two
+experiments on the canonical Myrinet -> SCI testbed with two parallel
+gateways:
+
+* **loss sweep** — reliable goodput and retransmission count as the
+  per-fragment drop rate rises from 0 to 5%;
+* **failover** — crash the active gateway mid-transfer and measure the
+  recovery latency (time from the crash until the transfer completes on
+  the surviving rail) against an undisturbed baseline.
+"""
+
+import numpy as np
+
+from repro.faults import ChannelFaults, FaultPlan, NodeEvent
+from repro.hw import build_world
+from repro.hw.params import GatewayParams
+from repro.madeleine import ReliableEndpoint, RetryPolicy, Session
+
+from common import emit, once
+
+SIZE = 240_000
+PACKET = 16 << 10
+DROP_RATES = (0.0, 0.01, 0.02, 0.05)
+CRASH_AT = 2_000.0
+
+
+def _run(drop_p, crash, nmsgs=2, seed=11):
+    w = build_world({
+        "m0": ["myrinet"], "gwA": ["myrinet", "sci"],
+        "gwB": ["myrinet", "sci"], "s0": ["sci"],
+    })
+    s = Session(w)
+    myri = s.channel("myrinet", ["m0", "gwA", "gwB"])
+    sci = s.channel("sci", ["gwA", "gwB", "s0"])
+    faults = ChannelFaults(drop_p=drop_p, corrupt_p=drop_p / 2)
+    plan = FaultPlan(
+        seed=seed,
+        channels={myri.id: faults, sci.id: faults},
+        node_events=tuple([NodeEvent(time=CRASH_AT, node="gwA")]
+                          if crash else []))
+    plan.arm(w)
+    vch = s.virtual_channel(
+        [myri, sci], packet_size=PACKET,
+        gateway_params=GatewayParams(stall_timeout=5_000.0))
+    rng = np.random.default_rng(seed)
+    payloads = [rng.integers(0, 256, SIZE, dtype=np.uint8).tobytes()
+                for _ in range(nmsgs)]
+    rel_src = ReliableEndpoint(vch.endpoint(0), RetryPolicy())
+    rel_dst = ReliableEndpoint(vch.endpoint(3), RetryPolicy())
+    stats = {"attempts": [], "done": 0.0}
+
+    def sender():
+        for p in payloads:
+            n = yield from rel_src.send(3, p)
+            stats["attempts"].append(n)
+
+    def receiver():
+        for i, p in enumerate(payloads):
+            _src, data, _tid = yield from rel_dst.recv()
+            assert data == p, f"payload {i} corrupted"
+            stats["done"] = s.now
+
+    s.spawn(sender(), name="bench-send")
+    s.spawn(receiver(), name="bench-recv")
+    s.run()
+    total = nmsgs * SIZE
+    return {
+        "elapsed_us": stats["done"],
+        "goodput_mbs": total / stats["done"],
+        "attempts": stats["attempts"],
+        "retransmits": rel_src.retransmits,
+    }
+
+
+def bench_failover(benchmark):
+    def experiment():
+        sweep = {p: _run(p, crash=False) for p in DROP_RATES}
+        baseline = _run(0.0, crash=False)
+        failover = _run(0.0, crash=True)
+        return sweep, baseline, failover
+
+    sweep, baseline, failover = once(benchmark, experiment)
+
+    lines = [f"Reliable goodput, {2 * SIZE // 1000} kB over "
+             f"Myrinet->SCI, two gateways",
+             f"{'drop rate':>10s}{'goodput MB/s':>14s}"
+             f"{'retransmits':>13s}{'attempts':>12s}"]
+    lines.append("-" * len(lines[-1]))
+    for p, r in sweep.items():
+        lines.append(f"{p:10.0%}{r['goodput_mbs']:14.1f}"
+                     f"{r['retransmits']:13d}{str(r['attempts']):>12s}")
+    recovery = failover["elapsed_us"] - baseline["elapsed_us"]
+    lines += [
+        "",
+        f"failover: gwA crashed at {CRASH_AT:.0f} us mid-transfer",
+        f"  undisturbed completion : {baseline['elapsed_us']:10.0f} us",
+        f"  with crash + failover  : {failover['elapsed_us']:10.0f} us",
+        f"  recovery overhead      : {recovery:10.0f} us "
+        f"({recovery / baseline['elapsed_us']:.1f}x baseline)",
+        f"  attempts with failover : {failover['attempts']}",
+    ]
+    emit("failover", "\n".join(lines))
+    benchmark.extra_info["recovery_us"] = round(recovery)
+
+    # Shape assertions:
+    # a clean run needs exactly one attempt per message and no retransmits
+    assert sweep[0.0]["retransmits"] == 0
+    assert sweep[0.0]["attempts"] == [1, 1]
+    # loss costs goodput monotonically at the sweep's endpoints
+    assert sweep[0.05]["goodput_mbs"] < sweep[0.0]["goodput_mbs"]
+    assert sweep[0.05]["retransmits"] > 0
+    # the crash is survived: both payloads arrive via the other gateway,
+    # and recovery costs extra time but terminates well under the sum of
+    # every retry budget (i.e. it is failover, not retry exhaustion)
+    assert failover["attempts"][0] > 1
+    assert recovery > 0
+    rp = RetryPolicy()
+    assert failover["elapsed_us"] < baseline["elapsed_us"] + \
+        2 * rp.max_attempts * rp.rto_max

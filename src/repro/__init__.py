@@ -10,6 +10,8 @@ discrete-event simulator (the 2001 Myrinet/SCI testbed being long gone):
 * :mod:`repro.madeleine` — the Madeleine library: channels, BMMs, TMs, the
   Generic Transmission Module, virtual channels, gateway pipelines;
 * :mod:`repro.routing` — cluster-of-clusters routing and MTU negotiation;
+* :mod:`repro.faults` — deterministic fault injection (drops, corruption,
+  delays, link and gateway failures) and the knobs that drive failover;
 * :mod:`repro.baselines` — Nexus-style app-level forwarding, PACX-style TCP;
 * :mod:`repro.minimpi` — an MPI-flavoured layer (the Madeleine-III direction);
 * :mod:`repro.rpc` — PM2-style lightweight RPC over virtual channels;
@@ -33,8 +35,8 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import (analysis, baselines, bench, hw, madeleine, memory, minimpi,
-               routing, rpc, sim)
+from . import (analysis, baselines, bench, faults, hw, madeleine, memory,
+               minimpi, routing, rpc, sim)
 
-__all__ = ["analysis", "baselines", "bench", "hw", "madeleine", "memory",
-           "minimpi", "routing", "rpc", "sim", "__version__"]
+__all__ = ["analysis", "baselines", "bench", "faults", "hw", "madeleine",
+           "memory", "minimpi", "routing", "rpc", "sim", "__version__"]

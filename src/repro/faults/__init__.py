@@ -1,0 +1,14 @@
+"""Deterministic fault injection (drop/corrupt/delay, link and node faults).
+
+Declare a :class:`FaultPlan`, arm it on a world, and the fabric's transmit
+engines consult the resulting :class:`FaultInjector` per fragment.  With no
+plan armed the hook is ``None`` and the happy path is untouched.
+"""
+
+from .injector import FaultInjector, Verdict, base_channel_id
+from .plan import ChannelFaults, FaultPlan, LinkEvent, NodeEvent
+
+__all__ = [
+    "ChannelFaults", "FaultPlan", "LinkEvent", "NodeEvent",
+    "FaultInjector", "Verdict", "base_channel_id",
+]

@@ -1,0 +1,93 @@
+"""Declarative, deterministic fault schedules.
+
+A :class:`FaultPlan` describes *what goes wrong and when*: per-channel
+fragment fault probabilities (drop / corrupt / delay), scheduled link-down
+and link-up transitions, and gateway crash / restart events at absolute
+simulated times.  Arming a plan on a :class:`~repro.hw.topology.World`
+builds a :class:`~repro.faults.injector.FaultInjector`, hooks it into the
+fabric, and spawns one driver process per scheduled event.
+
+Everything is seeded: the same plan on the same workload yields the same
+fault sequence, so chaos runs are reproducible bug reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.topology import World
+    from .injector import FaultInjector
+
+__all__ = ["ChannelFaults", "LinkEvent", "NodeEvent", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class ChannelFaults:
+    """Per-fragment fault probabilities for one channel.
+
+    ``delay_us`` is the *maximum* extra latency; an affected fragment draws
+    uniformly from ``[0, delay_us]``.
+    """
+
+    drop_p: float = 0.0
+    corrupt_p: float = 0.0
+    delay_p: float = 0.0
+    delay_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_p", "corrupt_p", "delay_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.delay_us < 0:
+            raise ValueError("delay_us must be >= 0")
+
+    @property
+    def quiet(self) -> bool:
+        return self.drop_p == self.corrupt_p == self.delay_p == 0.0
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """At ``time`` µs, take ``channel`` down (``up=False``) or up."""
+
+    time: float
+    channel: str
+    up: bool = False
+
+
+@dataclass(frozen=True)
+class NodeEvent:
+    """At ``time`` µs, crash (``up=False``) or restart a node.
+
+    ``node`` is a node name or rank, resolved against the world at arm time.
+    """
+
+    time: float
+    node: Union[str, int]
+    up: bool = False
+
+
+@dataclass
+class FaultPlan:
+    """A complete, seeded fault schedule."""
+
+    seed: int = 0
+    #: per-channel fragment fault probabilities, keyed by channel id
+    #: (a channel's ``!fwd`` forwarding twin shares its entry).
+    channels: Mapping[str, ChannelFaults] = field(default_factory=dict)
+    #: fallback for channels without an explicit entry (None = fault-free).
+    default: Optional[ChannelFaults] = None
+    link_events: Sequence[LinkEvent] = ()
+    node_events: Sequence[NodeEvent] = ()
+
+    def arm(self, world: "World") -> "FaultInjector":
+        """Attach this plan to ``world``; returns the live injector."""
+        from .injector import FaultInjector
+        if world.fabric.injector is not None:
+            raise RuntimeError("a fault plan is already armed on this world")
+        injector = FaultInjector(world, self)
+        world.fabric.injector = injector
+        return injector

@@ -54,6 +54,15 @@ def _total_bytes(views: list[Buffer]) -> int:
     return sum(len(v) for v in views)
 
 
+def _flip_byte(views: list[Buffer], off: int) -> None:
+    """Corrupt one payload byte at logical offset ``off`` (fault injection)."""
+    for v in views:
+        if off < len(v):
+            v.data[off] ^= 0xFF
+            return
+        off -= len(v)
+
+
 def _wire_deliver(srcs: list[Buffer], dsts: list[Buffer], nbytes: int) -> None:
     """Move the payload across (gather from srcs, scatter into dsts).
 
@@ -93,6 +102,9 @@ class _RecvSlot:
     buffer: list[Buffer]
     capacity: int
     done: Event
+    #: fabric-internal void slot (abandoned send): complete instantly,
+    #: deliver nowhere.
+    blackhole: bool = False
 
 
 @dataclass
@@ -165,13 +177,48 @@ class NIC:
         proto = self.protocol
         while True:
             req, slot = yield self._txq.get()
+            if slot.blackhole:
+                # The send was given up on (message abort / peer crash): the
+                # driver reaps the queued descriptor locally instead of
+                # pushing it through the wire, so an aborted message's
+                # backlog cannot starve the retry that follows it.
+                req.done.succeed(req.nbytes)
+                continue
             yield sim.timeout(proto.tx_overhead, name=f"{self.name}.txov")
             if slot.capacity < req.nbytes:
                 exc = TransferError(
                     f"{self.name} -> {req.dst.name} tag={req.tag!r}: fragment of "
                     f"{req.nbytes}B exceeds posted receive of {slot.capacity}B")
-                slot.done.fail(exc)
+                if not slot.done.triggered:
+                    slot.done.fail(exc)
                 req.done.fail(exc)
+                continue
+            # Fault injection (armed plans only; the happy path sees None).
+            injector = self.fabric.injector
+            verdict = (injector.fragment_verdict(self, req)
+                       if injector is not None else None)
+            if verdict is not None and verdict.delay_us > 0:
+                yield sim.timeout(verdict.delay_us,
+                                  name=f"{self.name}.fault_delay")
+            if verdict is not None and verdict.drop:
+                # The payload dies on the wire, but the rendezvous already
+                # consumed the posted slot — so complete it *without writing
+                # the buffer*.  The receiver observes a full-size fragment of
+                # stale bytes: exactly the whole-fragment loss an integrity
+                # layer must catch (announce/descriptor decoding, the
+                # reliable layer's per-fragment CRC).  Completing the slot —
+                # rather than letting it dangle — is what keeps staging
+                # buffers and static-pool blocks reclaimable under sustained
+                # loss.  Sender-side completion fires normally (as on a real
+                # NIC, loss is silent for the transmitter).
+                yield sim.timeout(proto.latency, name=f"{self.name}.wire")
+                self.fabric.trace.emit(
+                    sim.now, "fault", "fragment_dropped",
+                    src=self.name, dst=req.dst.name, proto=proto.name,
+                    nbytes=req.nbytes, tag=str(req.tag),
+                    kind=req.meta.get("type"))
+                req.done.succeed(req.nbytes)
+                self.fabric._complete_recv(req.dst, slot, req)
                 continue
             yield sim.timeout(proto.latency, name=f"{self.name}.wire")
             wire_bytes = req.nbytes + FRAGMENT_HEADER_BYTES
@@ -190,6 +237,13 @@ class NIC:
             # is the transfer itself, not a host memcpy: not accounted.
             if req.payload and slot.buffer and req.nbytes:
                 _wire_deliver(req.payload, slot.buffer, req.nbytes)
+                if verdict is not None and verdict.corrupt:
+                    _flip_byte(slot.buffer,
+                               verdict.corrupt_offset % req.nbytes)
+                    self.fabric.trace.emit(
+                        sim.now, "fault", "fragment_corrupted",
+                        src=self.name, dst=req.dst.name,
+                        nbytes=req.nbytes, tag=str(req.tag))
             self.fabric.trace.emit(
                 sim.now, "xfer", "fragment",
                 src=self.name, dst=req.dst.name, proto=proto.name,
@@ -214,6 +268,10 @@ class Fabric:
         self.trace = trace if trace is not None else TraceRecorder()
         self.accounting = accounting if accounting is not None else CopyAccounting()
         self._match: dict[tuple[int, Any], _MatchPoint] = {}
+        #: optional duck-typed fault hook with a ``fragment_verdict(nic, req)``
+        #: method (see :mod:`repro.faults`).  ``None`` keeps the happy path
+        #: untouched.
+        self.injector = None
 
     # -- receive side ---------------------------------------------------------
     def post_recv(self, nic: NIC, tag: Any, buffer: BufferSpec = None,
@@ -238,6 +296,24 @@ class Fabric:
             point.slots.append(slot)
         return slot.done
 
+    def cancel_recv(self, nic: NIC, tag: Any, done_ev: Event) -> bool:
+        """Withdraw a posted receive that no sender has matched yet.
+
+        Returns ``True`` if the slot was still queued — the caller may
+        recycle its buffer immediately.  ``False`` means a sender already
+        claimed it: the transfer (or its completion) is in flight and will
+        trigger ``done_ev``, so the caller must wait for that before
+        reusing the memory.
+        """
+        point = self._match.get((nic.id, tag))
+        if point is None:
+            return False
+        for i, slot in enumerate(point.slots):
+            if slot.done is done_ev:
+                del point.slots[i]
+                return True
+        return False
+
     # -- matching internals ---------------------------------------------------
     def _match_sender(self, dst: NIC, tag: Any) -> Event:
         """Event triggering with the matched :class:`_RecvSlot`."""
@@ -253,8 +329,67 @@ class Fabric:
         """Deliver the fragment to the receiver after its rx overhead."""
         delay = self.sim.timeout(dst.protocol.rx_overhead,
                                  name=f"{dst.name}.rxov")
-        delay.add_callback(lambda _ev: slot.done.succeed((req.meta, req.nbytes)))
+
+        def finish(_ev: Event) -> None:
+            # The slot may have been force-failed (node crash) while the
+            # fragment was in flight.
+            if not slot.done.triggered:
+                slot.done.succeed((req.meta, req.nbytes))
+
+        delay.add_callback(finish)
 
     def pending_sends(self, nic: NIC, tag: Any) -> int:
         point = self._match.get((nic.id, tag))
         return len(point.senders) if point else 0
+
+    # -- fault recovery ---------------------------------------------------------
+    def _blackhole_slot(self) -> _RecvSlot:
+        """A receive slot that absorbs one fragment into the void."""
+        return _RecvSlot(buffer=[], capacity=float("inf"),
+                         done=self.sim.event(), blackhole=True)
+
+    def blackhole_pending_sends(self, channel_id: Any,
+                                msg_id: Optional[int] = None) -> int:
+        """Complete unmatched sends on ``channel_id`` into the void.
+
+        Used when a message is aborted (``msg_id`` given: only that
+        message's body fragments) or a link/peer is given up on (``None``:
+        every pending send on the channel, announces included).  The
+        senders' completion events fire normally, so emission pipelines
+        drain and release their locks; no data lands anywhere.  Returns the
+        number of sends released.
+        """
+        n = 0
+        for (_nic_id, tag), point in self._match.items():
+            if not (isinstance(tag, tuple) and len(tag) >= 2
+                    and tag[1] == channel_id):
+                continue
+            if msg_id is not None and not (tag[0] == "body"
+                                           and tag[-1] == msg_id):
+                continue
+            while point.senders:
+                point.senders.pop(0).succeed(self._blackhole_slot())
+                n += 1
+        return n
+
+    def crash_node(self, node: Node, exc: BaseException) -> int:
+        """Tear down all rendezvous state of a crashed node.
+
+        Every receive its NICs have posted fails with ``exc`` (the node's
+        blocked processes observe the crash); every sender waiting to
+        transmit *to* it completes into the void.  Returns the number of
+        failed receive slots.
+        """
+        nic_ids = {nic.id for nic in node.nics.values()}
+        n = 0
+        for (nic_id, _tag), point in self._match.items():
+            if nic_id not in nic_ids:
+                continue
+            for slot in point.slots:
+                if not slot.done.triggered:
+                    slot.done.fail(exc)
+                    n += 1
+            point.slots.clear()
+            while point.senders:
+                point.senders.pop(0).succeed(self._blackhole_slot())
+        return n

@@ -184,6 +184,12 @@ class GatewayParams:
     #: incoming communication flow on gateways": cap the rate (bytes/µs) at
     #: which a forwarding worker accepts fragments.  ``None`` = unregulated.
     ingress_limit: float | None = None
+    #: µs a forwarding step (receive, retransmit, announce relay) may stall
+    #: before the worker abandons the in-flight message and recovers.
+    #: ``None`` (default) = wait forever, the pre-fault-tolerance behaviour;
+    #: set it whenever a fault plan is armed so dropped fragments can never
+    #: wedge a gateway.
+    stall_timeout: float | None = None
 
 
 DEFAULT_PCI = PCIParams()

@@ -24,6 +24,7 @@ from .gateway import ForwardingWorker, GatewayError
 from .gtm import GTMIncoming, GTMOutgoing
 from .helpers import recv_arrays, recv_message_into, send_arrays
 from .message import IncomingMessage, MessageStateError, OutgoingMessage
+from .reliable import ReliableEndpoint, RetryPolicy
 from .session import Session
 from .vchannel import DEFAULT_PACKET_SIZE, VChannelEndpoint, VirtualChannel
 from .wire import (ANNOUNCE_BYTES, DESC_BYTES, MODE_GTM, MODE_REGULAR,
@@ -39,6 +40,7 @@ __all__ = [
     "GTMIncoming", "GTMOutgoing",
     "recv_arrays", "recv_message_into", "send_arrays",
     "IncomingMessage", "MessageStateError", "OutgoingMessage",
+    "ReliableEndpoint", "RetryPolicy",
     "Session",
     "DEFAULT_PACKET_SIZE", "VChannelEndpoint", "VirtualChannel",
     "ANNOUNCE_BYTES", "DESC_BYTES", "MODE_GTM", "MODE_REGULAR",

@@ -62,13 +62,20 @@ def split_fragments(length: int, mtu: int) -> list[tuple[int, int]]:
 
 
 class _SenderBase:
-    def __init__(self, tm: "TransmissionModule", dst: int) -> None:
+    def __init__(self, tm: "TransmissionModule", dst: int,
+                 msg_id: int = 0) -> None:
         self.tm = tm
         self.dst = dst
+        self.msg_id = msg_id
         self.sim = tm.channel.sim
         self.accounting = tm.channel.fabric.accounting
+        self.aborted = False
         self._send_events: list[Event] = []
         self._deferred: list[tuple[Buffer, SendMode, RecvMode]] = []
+
+    def _send(self, payload, meta: dict) -> Event:
+        return self.tm.send_item(self.dst, payload, meta=meta,
+                                 msg_id=self.msg_id)
 
     def op_pack(self, buffer: Buffer, smode: SendMode,
                 rmode: RecvMode) -> Generator:
@@ -80,6 +87,8 @@ class _SenderBase:
 
     def op_finalize(self) -> Generator:
         for buffer, _smode, rmode in self._deferred:
+            if self.aborted:
+                break
             yield from self._emit(buffer, SendMode.CHEAPER, rmode)
         self._deferred.clear()
         yield from self._flush_tail()
@@ -108,8 +117,10 @@ class EagerDynamicBMM(_SenderBase):
             shadow.copy_from(buffer, self.accounting, self.sim.now, "bmm.safer")
             buffer = shadow
         for off, size in split_fragments(len(buffer), self.tm.protocol.max_mtu):
-            ev = self.tm.send_item(self.dst, buffer.view(off, off + size),
-                                   meta={"type": "frag"})
+            if self.aborted:
+                return
+            ev = self._send(buffer.view(off, off + size),
+                            meta={"type": "frag"})
             self._send_events.append(ev)
         return
         yield  # pragma: no cover - purely synchronous emission
@@ -118,9 +129,11 @@ class EagerDynamicBMM(_SenderBase):
 class EagerDynamicBMMRx:
     """Receiver mirror of :class:`EagerDynamicBMM`."""
 
-    def __init__(self, tm: "TransmissionModule", src: int) -> None:
+    def __init__(self, tm: "TransmissionModule", src: int,
+                 msg_id: int = 0) -> None:
         self.tm = tm
         self.src = src
+        self.msg_id = msg_id
         self.sim = tm.channel.sim
         self._recv_events: list[Event] = []
         self._deferred: list[tuple[Buffer, RecvMode]] = []
@@ -149,7 +162,8 @@ class EagerDynamicBMMRx:
         pieces = split_fragments(len(buffer), self.tm.protocol.max_mtu)
         events = []
         for off, size in pieces:
-            slot_ev = self.tm.post_item(self.src, buffer.view(off, off + size))
+            slot_ev = self.tm.post_item(self.src, buffer.view(off, off + size),
+                                        msg_id=self.msg_id)
             events.append(_checked(self.sim, slot_ev, size))
         return self.sim.all_of(events) if events else self.sim.timeout(0)
 
@@ -178,8 +192,9 @@ def _checked(sim, slot_ev: Event, expected: int) -> Event:
 class StaticChunkBMM(_SenderBase):
     """Static buffers: copy into protocol chunks, flush on boundaries."""
 
-    def __init__(self, tm: "TransmissionModule", dst: int) -> None:
-        super().__init__(tm, dst)
+    def __init__(self, tm: "TransmissionModule", dst: int,
+                 msg_id: int = 0) -> None:
+        super().__init__(tm, dst, msg_id)
         if tm.tx_pool is None:
             raise RuntimeError(
                 f"protocol {tm.protocol.name!r} has no static tx pool")
@@ -191,9 +206,15 @@ class StaticChunkBMM(_SenderBase):
               rmode: RecvMode) -> Generator:
         remaining = len(buffer)
         pos = 0
-        while remaining > 0:
+        while remaining > 0 and not self.aborted:
             if self._block is None:
-                self._block = yield self.tm.tx_pool.acquire()
+                block = yield self.tm.tx_pool.acquire()
+                if self.aborted:
+                    # Aborted while waiting for the block: nothing staged in
+                    # it yet, hand it straight back.
+                    self.tm.tx_pool.release(block)
+                    return
+                self._block = block
                 self._offset = 0
             space = self.chunk_size - self._offset
             take = min(space, remaining)
@@ -214,8 +235,12 @@ class StaticChunkBMM(_SenderBase):
             return
         block, used = self._block, self._offset
         self._block, self._offset = None, 0
-        ev = self.tm.send_item(self.dst, block.view(0, used),
-                               meta={"type": "chunk"})
+        if self.aborted:
+            # A post-abort send would never match and would wedge the
+            # executor's final all_of; just recycle the block.
+            self.tm.tx_pool.release(block)
+            return
+        ev = self._send(block.view(0, used), meta={"type": "chunk"})
         pool = self.tm.tx_pool
         ev.add_callback(lambda _e: pool.release(block))
         self._send_events.append(ev)
@@ -234,9 +259,11 @@ class StaticChunkBMMRx:
     chunk length actually arrives.
     """
 
-    def __init__(self, tm: "TransmissionModule", src: int) -> None:
+    def __init__(self, tm: "TransmissionModule", src: int,
+                 msg_id: int = 0) -> None:
         self.tm = tm
         self.src = src
+        self.msg_id = msg_id
         self.sim = tm.channel.sim
         self.accounting = tm.channel.fabric.accounting
         if tm.rx_pool is None:
@@ -273,7 +300,8 @@ class StaticChunkBMMRx:
             if self._block is None or self._offset >= self._length:
                 self._release()
                 self._block = yield self.tm.rx_pool.acquire()
-                ev = self.tm.post_item(self.src, self._block)
+                ev = self.tm.post_item(self.src, self._block,
+                                       msg_id=self.msg_id)
                 _meta, n = yield ev
                 self._length = n
                 self._offset = 0
@@ -303,14 +331,17 @@ class GatherDynamicBMM(_SenderBase):
     one MTU bypass grouping and are sent as solo fragments.
     """
 
-    def __init__(self, tm: "TransmissionModule", dst: int) -> None:
-        super().__init__(tm, dst)
+    def __init__(self, tm: "TransmissionModule", dst: int,
+                 msg_id: int = 0) -> None:
+        super().__init__(tm, dst, msg_id)
         self.mtu = tm.protocol.max_mtu
         self._group: list[Buffer] = []
         self._group_bytes = 0
 
     def _emit(self, buffer: Buffer, smode: SendMode,
               rmode: RecvMode) -> Generator:
+        if self.aborted:
+            return
         if smode == SendMode.SAFER:
             shadow = Buffer.alloc(len(buffer), label="bmm.safer")
             shadow.copy_from(buffer, self.accounting, self.sim.now, "bmm.safer")
@@ -318,8 +349,8 @@ class GatherDynamicBMM(_SenderBase):
         if len(buffer) >= self.mtu:
             self._flush_group()
             for off, size in split_fragments(len(buffer), self.mtu):
-                ev = self.tm.send_item(self.dst, buffer.view(off, off + size),
-                                       meta={"type": "frag"})
+                ev = self._send(buffer.view(off, off + size),
+                                meta={"type": "frag"})
                 self._send_events.append(ev)
         else:
             if self._group_bytes + len(buffer) > self.mtu:
@@ -336,7 +367,9 @@ class GatherDynamicBMM(_SenderBase):
             return
         group, self._group = self._group, []
         self._group_bytes = 0
-        ev = self.tm.send_item(self.dst, group, meta={"type": "frag"})
+        if self.aborted:
+            return
+        ev = self._send(group, meta={"type": "frag"})
         self._send_events.append(ev)
 
     def _flush_tail(self) -> Generator:
@@ -349,9 +382,11 @@ class GatherDynamicBMMRx:
     """Receiver mirror of :class:`GatherDynamicBMM`: replays the same
     grouping decisions over the unpack sequence and posts scatter lists."""
 
-    def __init__(self, tm: "TransmissionModule", src: int) -> None:
+    def __init__(self, tm: "TransmissionModule", src: int,
+                 msg_id: int = 0) -> None:
         self.tm = tm
         self.src = src
+        self.msg_id = msg_id
         self.sim = tm.channel.sim
         self.mtu = tm.protocol.max_mtu
         self._recv_events: list[Event] = []
@@ -386,7 +421,8 @@ class GatherDynamicBMMRx:
             events = []
             for off, size in split_fragments(len(buffer), self.mtu):
                 slot_ev = self.tm.post_item(self.src,
-                                            buffer.view(off, off + size))
+                                            buffer.view(off, off + size),
+                                            msg_id=self.msg_id)
                 events.append(_checked(self.sim, slot_ev, size))
             done = self.sim.all_of(events)
             self._recv_events.append(done)
@@ -406,25 +442,25 @@ class GatherDynamicBMMRx:
             return self.sim.timeout(0)
         group, self._group = self._group, []
         expected, self._group_bytes = self._group_bytes, 0
-        slot_ev = self.tm.post_item(self.src, group)
+        slot_ev = self.tm.post_item(self.src, group, msg_id=self.msg_id)
         done = _checked(self.sim, slot_ev, expected)
         self._recv_events.append(done)
         return done
 
 
-def make_sender_bmm(tm: "TransmissionModule", dst: int):
+def make_sender_bmm(tm: "TransmissionModule", dst: int, msg_id: int = 0):
     if tm.protocol.tx_static:
-        return StaticChunkBMM(tm, dst)
+        return StaticChunkBMM(tm, dst, msg_id)
     if tm.protocol.gather:
-        return GatherDynamicBMM(tm, dst)
-    return EagerDynamicBMM(tm, dst)
+        return GatherDynamicBMM(tm, dst, msg_id)
+    return EagerDynamicBMM(tm, dst, msg_id)
 
 
-def make_receiver_bmm(tm: "TransmissionModule", src: int):
+def make_receiver_bmm(tm: "TransmissionModule", src: int, msg_id: int = 0):
     # Grouping is a *sender-side* decision: mirror what the peer's sender
     # BMM does, which is determined by the (shared) protocol parameters.
     if tm.protocol.tx_static:
-        return StaticChunkBMMRx(tm, src)
+        return StaticChunkBMMRx(tm, src, msg_id)
     if tm.protocol.gather:
-        return GatherDynamicBMMRx(tm, src)
-    return EagerDynamicBMMRx(tm, src)
+        return GatherDynamicBMMRx(tm, src, msg_id)
+    return EagerDynamicBMMRx(tm, src, msg_id)

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..hw.topology import World
 from ..memory import Buffer
-from ..sim import Event, Mutex, Queue
+from ..sim import Event, GatewayCrashed, Mutex, Queue
 from .message import IncomingMessage, OutgoingMessage
 from .tm import TransmissionModule
 from .wire import ANNOUNCE_BYTES, Announce, decode_announce
@@ -47,7 +47,9 @@ class Endpoint:
         #: one message at a time, so every sender (application message or
         #: gateway forwarding worker) holds the lock for the whole message.
         self._conn_locks: dict[int, Mutex] = {}
-        channel.sim.process(self._listener(), name=f"listen:{channel.id}@{rank}")
+        self._listener_dead = False
+        self._listener_proc = channel.sim.process(
+            self._listener(), name=f"listen:{channel.id}@{rank}")
 
     def connection_lock(self, dst: int) -> Mutex:
         if dst not in self._conn_locks:
@@ -59,9 +61,40 @@ class Endpoint:
         """Repost an announce slot forever; queue each arriving announce."""
         while True:
             buf = Buffer.alloc(ANNOUNCE_BYTES, label="announce.rx")
-            meta, _n = yield self.tm.post_announce(buf)
-            announce = decode_announce(buf.tobytes())
+            try:
+                meta, _n = yield self.tm.post_announce(buf)
+            except GatewayCrashed:
+                # Our node went down: park until restart_listener() respawns.
+                self._listener_dead = True
+                return
+            try:
+                announce = decode_announce(buf.tobytes())
+            except ValueError as exc:
+                # Corrupted announce under an armed fault plan: not safely
+                # forwardable, drop it (the sender's retry recovers).
+                self.channel.fabric.trace.emit(
+                    self.channel.sim.now, "fault", "announce_dropped",
+                    channel=self.channel.id, rank=self.rank, reason=str(exc))
+                continue
             yield self.incoming.put((announce, meta["hop_src"]))
+
+    def restart_listener(self) -> None:
+        """Respawn the announce listener if a node crash killed it."""
+        if not self._listener_dead:
+            return
+        self._listener_dead = False
+        self._listener_proc = self.channel.sim.process(
+            self._listener(),
+            name=f"listen:{self.channel.id}@{self.rank}")
+
+    def drain_incoming(self) -> int:
+        """Throw away announces queued before a crash; returns the count."""
+        n = 0
+        while True:
+            got, _item = self.incoming.try_get()
+            if not got:
+                return n
+            n += 1
 
     # -- the user-facing interface ---------------------------------------------
     def begin_packing(self, dst: int) -> OutgoingMessage:

@@ -39,7 +39,8 @@ from typing import TYPE_CHECKING, Optional
 
 from ..hw.params import GatewayParams
 from ..memory import Buffer, StaticBufferPool
-from ..sim import Barrier, Queue, Semaphore
+from ..routing import NoRouteError
+from ..sim import Barrier, GatewayCrashed, Queue, Semaphore
 from .wire import DESC_BYTES, MODE_GTM, Announce, decode_descriptor
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -52,6 +53,10 @@ __all__ = ["ForwardingWorker", "GatewayError"]
 
 class GatewayError(RuntimeError):
     """Protocol violation observed by a forwarding worker."""
+
+
+class _Stalled(Exception):
+    """Internal: a forwarding step exceeded ``GatewayParams.stall_timeout``."""
 
 
 @dataclass
@@ -85,23 +90,76 @@ class ForwardingWorker:
         self._seq = itertools.count()
         self._ingress_next = 0.0   # earliest instant the regulator allows
         self.messages_forwarded = 0
+        self.messages_abandoned = 0
+        self._retired = False
+        self._abort_ev = self.sim.event(name=f"gw{gw_rank}.abort")
         self.process = self.sim.process(
             self._main_loop(), name=f"gwR:{gw_rank}:{in_channel.id}")
+
+    @property
+    def retired(self) -> bool:
+        return self._retired
+
+    def retire(self) -> None:
+        """Permanently stop this worker (its gateway node crashed).
+
+        A fresh worker is spawned on restart; the old one exits at its next
+        scheduling point and never touches the channel again.
+        """
+        if self._retired:
+            return
+        self._retired = True
+        if not self._abort_ev.triggered:
+            self._abort_ev.succeed()
+
+    def _yield_bounded(self, ev):
+        """Wait for ``ev``, bounded by the stall timeout.
+
+        Raises :class:`_Stalled` when the bound expires first; with no
+        timeout configured this is a plain wait.  A failure of ``ev`` (node
+        crash) propagates unchanged.
+        """
+        timeout = self.params.stall_timeout
+        if timeout is None:
+            value = yield ev
+            return value
+        idx, value = yield self.sim.any_of(
+            [ev, self.sim.timeout(timeout, name=f"gw{self.gw_rank}.stall")])
+        if idx == 1:
+            raise _Stalled()
+        return value
 
     # -- staging buffers ---------------------------------------------------------
     def _acquire_staging(self, in_tm: "TransmissionModule",
                          out_tm: "TransmissionModule", mtu: int):
         """Yields; returns (buffer, pool-or-None) per the zero-copy rules."""
         if in_tm.protocol.rx_static:
-            block = yield in_tm.rx_pool.acquire()
-            return block, in_tm.rx_pool
-        if out_tm.protocol.tx_static:
-            block = yield out_tm.tx_pool.acquire()
-            return block, out_tm.tx_pool
-        if self._free_dynamic:
-            return self._free_dynamic.pop(), None
-        size = max(mtu, DESC_BYTES)
-        return Buffer.alloc(size, label=f"gw{self.gw_rank}.staging"), None
+            pool = in_tm.rx_pool
+        elif out_tm.protocol.tx_static:
+            pool = out_tm.tx_pool
+        else:
+            if self._free_dynamic:
+                return self._free_dynamic.pop(), None
+            size = max(mtu, DESC_BYTES)
+            return Buffer.alloc(size, label=f"gw{self.gw_rank}.staging"), None
+        block = yield from self._bounded_acquire(pool)
+        return block, pool
+
+    def _bounded_acquire(self, pool: StaticBufferPool):
+        """Pool acquire under the stall bound; never strands a block.
+
+        A stalled acquire is withdrawn; if it was granted in the very
+        instant the bound expired, the block is handed straight back.
+        """
+        acq = pool.acquire()
+        try:
+            block = yield from self._yield_bounded(acq)
+        except _Stalled:
+            if not pool.cancel_acquire(acq):
+                acq.add_callback(
+                    lambda ev, p=pool: p.release(ev.value) if ev.ok else None)
+            raise
+        return block
 
     def _release_staging(self, buffer: Buffer,
                          pool: Optional[StaticBufferPool]) -> None:
@@ -115,15 +173,37 @@ class ForwardingWorker:
         ep = self.in_channel.endpoint(self.gw_rank)
         sim = self.sim
         while True:
-            announce, hop_src = yield ep.incoming.get()
-            if announce.mode != MODE_GTM:
-                raise GatewayError(
-                    f"non-GTM announce on special channel {self.in_channel.id!r}")
-            if announce.hops_left < 1:
-                raise GatewayError(
-                    f"announce for {announce.final_dst} reached gateway "
-                    f"{self.gw_rank} with no hops left")
-            hop = self.vchannel.routes.next_hop(self.gw_rank, announce.final_dst)
+            get_ev = ep.incoming.get()
+            idx, value = yield sim.any_of([get_ev, self._abort_ev])
+            if idx == 1 or self._retired:
+                # Retired mid-race: withdraw the pending get so it cannot
+                # steal an announce from the replacement worker.
+                if not get_ev.triggered:
+                    ep.incoming.cancel_get(get_ev)
+                return
+            announce, hop_src = value
+            try:
+                if announce.mode != MODE_GTM:
+                    raise GatewayError(
+                        f"non-GTM announce on special channel "
+                        f"{self.in_channel.id!r}")
+                if announce.hops_left < 1:
+                    raise GatewayError(
+                        f"announce for {announce.final_dst} reached gateway "
+                        f"{self.gw_rank} with no hops left")
+                hop = self.vchannel.routes.next_hop(self.gw_rank,
+                                                    announce.final_dst)
+            except (GatewayError, NoRouteError) as exc:
+                if self.in_channel.fabric.injector is not None:
+                    # Under an armed fault plan a bad announce / vanished
+                    # route is survivable: refuse the message, let the
+                    # origin's retry find another rail.
+                    self.trace.emit(sim.now, "gateway", "forward_refused",
+                                    gw=self.gw_rank, msg=announce.msg_id,
+                                    reason=str(exc))
+                    self.messages_abandoned += 1
+                    continue
+                raise
             final = hop.dst == announce.final_dst
             # Back to the regular channel once past the last gateway (§2.2.2).
             out_channel = (hop.channel if final
@@ -135,31 +215,61 @@ class ForwardingWorker:
             # application traffic) must not interleave fragments on it.
             out_lock = out_channel.endpoint(self.gw_rank).connection_lock(hop.dst)
             yield out_lock.acquire()
-            fwd = replace(announce, hops_left=announce.hops_left - 1)
-            yield out_tm.send_announce(hop.dst, fwd)
-            self.trace.emit(sim.now, "gateway", "message_start",
-                            gw=self.gw_rank, msg=announce.msg_id,
-                            origin=announce.origin, dst=announce.final_dst,
-                            route=f"{in_tm.protocol.name}->{out_tm.protocol.name}")
-            # Lockstep is inherently a two-buffer scheme; other depths run
-            # through the decoupled queue (depth 1 = store-and-forward per
-            # fragment).
-            if self.params.lockstep and self.params.pipeline_depth == 2:
-                yield from self._pipeline_lockstep(
-                    in_tm, out_tm, hop.dst, hop_src, announce)
+            if self._retired:
+                out_lock.release()
+                return
+            ok = False
+            try:
+                fwd = replace(announce, hops_left=announce.hops_left - 1)
+                try:
+                    yield from self._yield_bounded(
+                        out_tm.send_announce(hop.dst, fwd))
+                except _Stalled:
+                    self.trace.emit(sim.now, "gateway", "message_abandoned",
+                                    gw=self.gw_rank, msg=announce.msg_id,
+                                    where="announce")
+                    self.messages_abandoned += 1
+                    continue
+                self.trace.emit(sim.now, "gateway", "message_start",
+                                gw=self.gw_rank, msg=announce.msg_id,
+                                origin=announce.origin, dst=announce.final_dst,
+                                route=f"{in_tm.protocol.name}->{out_tm.protocol.name}")
+                # Lockstep is inherently a two-buffer scheme; other depths
+                # run through the decoupled queue (depth 1 = store-and-
+                # forward per fragment).
+                if self.params.lockstep and self.params.pipeline_depth == 2:
+                    ok = yield from self._pipeline_lockstep(
+                        in_tm, out_tm, hop.dst, hop_src, announce)
+                else:
+                    ok = yield from self._pipeline_decoupled(
+                        in_tm, out_tm, hop.dst, hop_src, announce)
+            except GatewayCrashed:
+                self._retired = True
+                return
+            finally:
+                out_lock.release()
+            if ok:
+                self.messages_forwarded += 1
+                self.trace.emit(sim.now, "gateway", "message_end",
+                                gw=self.gw_rank, msg=announce.msg_id)
             else:
-                yield from self._pipeline_decoupled(
-                    in_tm, out_tm, hop.dst, hop_src, announce)
-            out_lock.release()
-            self.messages_forwarded += 1
-            self.trace.emit(sim.now, "gateway", "message_end",
-                            gw=self.gw_rank, msg=announce.msg_id)
+                self.messages_abandoned += 1
+                self.trace.emit(sim.now, "gateway", "message_abandoned",
+                                gw=self.gw_rank, msg=announce.msg_id,
+                                where="pipeline")
 
     # -- one received item -----------------------------------------------------------
     def _receive_item(self, in_tm: "TransmissionModule",
                       out_tm: "TransmissionModule", hop_src: int,
                       announce: Announce):
-        """Yields; returns the received :class:`_Item`."""
+        """Yields; returns the received :class:`_Item`.
+
+        On a stall the staging buffer is reclaimed, not leaked: an
+        unmatched posted receive is withdrawn from the fabric and the
+        buffer recycled at once; a matched one is recycled only when its
+        (late or blackholed) transfer completes, so reused memory can
+        never be written by a straggler.
+        """
         staging, pool = yield from self._acquire_staging(
             in_tm, out_tm, announce.mtu)
         # §4 future work: regulate the incoming flow — delay the next posted
@@ -170,17 +280,39 @@ class ForwardingWorker:
                                    name=f"gw{self.gw_rank}.regulate")
         seq = next(self._seq)
         t0 = self.sim.now
-        meta, n = yield in_tm.post_item(hop_src, staging,
-                                        capacity=len(staging))
+        post_ev = in_tm.post_item(hop_src, staging, capacity=len(staging),
+                                  msg_id=announce.msg_id)
+        try:
+            meta, n = yield from self._yield_bounded(post_ev)
+        except _Stalled:
+            fabric = in_tm.channel.fabric
+            tag = in_tm.body_tag(hop_src, announce.msg_id)
+            if fabric.cancel_recv(in_tm.nic, tag, post_ev):
+                self._release_staging(staging, pool)
+            else:
+                post_ev.add_callback(
+                    lambda ev, b=staging, p=pool:
+                    self._release_staging(b, p) if ev.ok else None)
+            raise
         if limit is not None:
             self._ingress_next = self.sim.now + max(0.0, n / limit
                                                     - (self.sim.now - t0))
         self.trace.emit(self.sim.now, "gateway", "recv",
                         gw=self.gw_rank, msg=announce.msg_id, seq=seq,
                         nbytes=n, start=t0, kind=meta.get("type"))
-        last = (meta.get("type") == "desc" and
-                decode_descriptor(staging.view(0, DESC_BYTES).tobytes())
-                .is_terminator)
+        last = False
+        if meta.get("type") == "desc":
+            try:
+                last = decode_descriptor(
+                    staging.view(0, DESC_BYTES).tobytes()).is_terminator
+            except ValueError as exc:
+                if self.in_channel.fabric.injector is None:
+                    raise GatewayError(
+                        f"malformed descriptor at gateway {self.gw_rank} "
+                        f"(msg {announce.msg_id}): {exc}") from exc
+                # Corrupted in transit: forward it anyway (end-to-end
+                # integrity is the reliable layer's job) and keep treating
+                # the stream as open; a lost terminator surfaces as a stall.
         return _Item(meta=meta, staging=staging, pool=pool, nbytes=n,
                      seq=seq, last=last)
 
@@ -188,32 +320,75 @@ class ForwardingWorker:
     def _transmit_item(self, item: _Item, in_tm: "TransmissionModule",
                        out_tm: "TransmissionModule", next_rank: int,
                        announce: Announce):
+        """Yields; raises :class:`_Stalled` if the next hop stops taking
+        fragments.  Buffers involved in a stalled send are recycled once
+        the send completes — the abandon path blackholes it, so completion
+        (and with it the reclaim) is guaranteed."""
         sim = self.sim
         both_static = in_tm.protocol.rx_static and out_tm.protocol.tx_static
         t0 = sim.now
         if both_static and item.nbytes > 0:
             # The unavoidable copy of §2.3: landing block -> send block,
             # serial and charged at host memcpy speed.
-            out_block = yield out_tm.tx_pool.acquire()
+            try:
+                out_block = yield from self._bounded_acquire(out_tm.tx_pool)
+            except _Stalled:
+                self._release_staging(item.staging, item.pool)
+                raise
             yield from self.node.memcpy(item.nbytes)
             out_block.view(0, item.nbytes).copy_from(
                 item.staging.view(0, item.nbytes), self.accounting, sim.now,
                 "gateway.static_copy")
             self._release_staging(item.staging, item.pool)
-            yield out_tm.send_item(next_rank, out_block.view(0, item.nbytes),
-                                   meta=dict(item.meta))
+            send_ev = out_tm.send_item(next_rank,
+                                       out_block.view(0, item.nbytes),
+                                       meta=dict(item.meta),
+                                       msg_id=announce.msg_id)
+            try:
+                yield from self._yield_bounded(send_ev)
+            except _Stalled:
+                send_ev.add_callback(
+                    lambda ev, b=out_block, p=out_tm.tx_pool:
+                    p.release(b) if ev.ok else None)
+                raise
             out_tm.tx_pool.release(out_block)
         else:
-            yield out_tm.send_item(next_rank,
-                                   item.staging.view(0, item.nbytes),
-                                   meta=dict(item.meta), nbytes=item.nbytes)
+            send_ev = out_tm.send_item(next_rank,
+                                       item.staging.view(0, item.nbytes),
+                                       meta=dict(item.meta),
+                                       nbytes=item.nbytes,
+                                       msg_id=announce.msg_id)
+            try:
+                yield from self._yield_bounded(send_ev)
+            except _Stalled:
+                send_ev.add_callback(
+                    lambda ev, b=item.staging, p=item.pool:
+                    self._release_staging(b, p) if ev.ok else None)
+                raise
             self._release_staging(item.staging, item.pool)
         self.trace.emit(sim.now, "gateway", "send",
                         gw=self.gw_rank, msg=announce.msg_id, seq=item.seq,
                         nbytes=item.nbytes, start=t0, kind=item.meta.get("type"))
 
+    def _abandon_transmit(self, out_tm: "TransmissionModule",
+                          announce: Announce) -> None:
+        """Give up on the outgoing side of a message: complete its pending
+        (unmatched) fragment sends into the void so nothing dangles."""
+        out_tm.channel.fabric.blackhole_pending_sends(out_tm.channel.id,
+                                                      announce.msg_id)
+
+    def _drain_handoff(self, handoff: Queue) -> None:
+        """Recycle staged items a dead sender never consumed."""
+        while True:
+            got, item = handoff.try_get()
+            if not got:
+                return
+            if item is not None:
+                self._release_staging(item.staging, item.pool)
+
     # -- the paper's lockstep double-buffer pipeline (Figures 4/5) ------------------------
     def _pipeline_lockstep(self, in_tm, out_tm, next_rank, hop_src, announce):
+        """Returns True if the whole message left, False if abandoned."""
         sim = self.sim
         barrier = Barrier(sim, 2, name=f"gw{self.gw_rank}.swap")
         handoff = Queue(sim, capacity=1, name=f"gw{self.gw_rank}.handoff")
@@ -221,12 +396,29 @@ class ForwardingWorker:
             self._lockstep_sender(handoff, barrier, in_tm, out_tm,
                                   next_rank, announce),
             name=f"gwS:{self.gw_rank}:{self.in_channel.id}")
+        ok = True
         while True:
-            item = yield from self._receive_item(in_tm, out_tm, hop_src,
-                                                 announce)
+            try:
+                item = yield from self._receive_item(in_tm, out_tm, hop_src,
+                                                     announce)
+            except _Stalled:
+                item = None   # poison: tell the sender to stop
+                ok = False
             # Both threads meet, then exchange their buffers: the switch
-            # overhead sits on the critical path (§3.3.1).
-            yield barrier.wait()
+            # overhead sits on the critical path (§3.3.1).  The sender
+            # process itself is the second wait target so an abandoning
+            # sender cannot strand us at the barrier.
+            idx, _value = yield sim.any_of([barrier.wait(), sender])
+            if idx == 1:
+                # The sender died while we were receiving: recycle the item
+                # it will never take.
+                if item is not None:
+                    self._release_staging(item.staging, item.pool)
+                ok = False
+                break
+            if item is None:
+                yield handoff.put(item)
+                break
             yield sim.timeout(self.params.switch_overhead,
                               name=f"gw{self.gw_rank}.swap")
             self.trace.emit(sim.now, "gateway", "swap",
@@ -234,22 +426,33 @@ class ForwardingWorker:
             yield handoff.put(item)
             if item.last:
                 break
-        yield sender   # drain: the terminator must leave before the next message
+        # Drain: the terminator (or the abandon) must settle before the next
+        # message.  All sender exits are guaranteed finite.
+        sent_ok = yield sender
+        self._drain_handoff(handoff)
+        return ok and sent_ok
 
     def _lockstep_sender(self, handoff, barrier, in_tm, out_tm, next_rank,
                          announce):
-        # Round 0: nothing to send yet, just meet the receive thread.
-        yield barrier.wait()
-        while True:
-            item = yield handoff.get()
-            yield from self._transmit_item(item, in_tm, out_tm, next_rank,
-                                           announce)
-            if item.last:
-                return
+        try:
+            # Round 0: nothing to send yet, just meet the receive thread.
             yield barrier.wait()
+            while True:
+                item = yield handoff.get()
+                if item is None:
+                    return False
+                yield from self._transmit_item(item, in_tm, out_tm,
+                                               next_rank, announce)
+                if item.last:
+                    return True
+                yield barrier.wait()
+        except (_Stalled, GatewayCrashed):
+            self._abandon_transmit(out_tm, announce)
+            return False
 
     # -- the decoupled bounded-queue pipeline (ablation) -----------------------------------
     def _pipeline_decoupled(self, in_tm, out_tm, next_rank, hop_src, announce):
+        """Returns True if the whole message left, False if abandoned."""
         sim = self.sim
         depth = self.params.pipeline_depth
         gate = Semaphore(sim, depth, name=f"gw{self.gw_rank}.gate")
@@ -259,10 +462,21 @@ class ForwardingWorker:
             self._decoupled_sender(handoff, gate, in_tm, out_tm, next_rank,
                                    announce),
             name=f"gwS:{self.gw_rank}:{self.in_channel.id}")
+        ok = True
         while True:
-            yield gate.acquire()
-            item = yield from self._receive_item(in_tm, out_tm, hop_src,
-                                                 announce)
+            idx, _value = yield sim.any_of([gate.acquire(), sender])
+            if idx == 1:
+                ok = False
+                break
+            try:
+                item = yield from self._receive_item(in_tm, out_tm, hop_src,
+                                                     announce)
+            except _Stalled:
+                ok = False
+                # Poison the queue; any_of because a stalled sender may
+                # never drain it (its process event ends the wait instead).
+                yield sim.any_of([handoff.put(None), sender])
+                break
             yield sim.timeout(self.params.switch_overhead,
                               name=f"gw{self.gw_rank}.swap")
             self.trace.emit(sim.now, "gateway", "swap",
@@ -270,14 +484,22 @@ class ForwardingWorker:
             yield handoff.put(item)
             if item.last:
                 break
-        yield sender
+        sent_ok = yield sender
+        self._drain_handoff(handoff)
+        return ok and sent_ok
 
     def _decoupled_sender(self, handoff, gate, in_tm, out_tm, next_rank,
                           announce):
-        while True:
-            item = yield handoff.get()
-            yield from self._transmit_item(item, in_tm, out_tm, next_rank,
-                                           announce)
-            gate.release()
-            if item.last:
-                return
+        try:
+            while True:
+                item = yield handoff.get()
+                if item is None:
+                    return False
+                yield from self._transmit_item(item, in_tm, out_tm,
+                                               next_rank, announce)
+                gate.release()
+                if item.last:
+                    return True
+        except (_Stalled, GatewayCrashed):
+            self._abandon_transmit(out_tm, announce)
+            return False

@@ -42,6 +42,10 @@ __all__ = ["GTMOutgoing", "GTMIncoming"]
 _msg_ids = itertools.count(1 << 20)   # disjoint from regular message ids
 
 
+class _UnpackAborted(Exception):
+    """Internal: the incoming message was abandoned by recovery code."""
+
+
 class GTMOutgoing(_ExecutorMixin):
     """Packs a message onto the first hop of a multi-network route."""
 
@@ -62,6 +66,7 @@ class GTMOutgoing(_ExecutorMixin):
         self.hop_dst = hop0.dst
         self.msg_id = next(_msg_ids)
         self.accounting = self.tm.channel.fabric.accounting
+        self.aborted = False
         self._send_events: list[Event] = []
         self._deferred: list[tuple[Buffer, RecvMode]] = []
         self._init_executor(self.tm.channel.sim, f"gtm-out:{self.msg_id}")
@@ -86,6 +91,13 @@ class GTMOutgoing(_ExecutorMixin):
     def end_packing(self) -> Event:
         return self._submit_final(self._op_finalize())
 
+    def abort(self) -> None:
+        """Stop emitting; blackhole whatever is already queued on the fabric
+        so the executor drains and releases the first-hop connection lock."""
+        self.aborted = True
+        self.tm.channel.fabric.blackhole_pending_sends(
+            self.tm.channel.id, self.msg_id)
+
     # -- ops ---------------------------------------------------------------------
     def _op_pack(self, buf: Buffer, smode: SendMode, rmode: RecvMode):
         validate_modes(smode, rmode)
@@ -94,38 +106,52 @@ class GTMOutgoing(_ExecutorMixin):
             return
         yield from self._emit(buf, smode, rmode)
 
+    def _send(self, payload, meta: dict) -> Event:
+        return self.tm.send_item(self.hop_dst, payload, meta=meta,
+                                 msg_id=self.msg_id)
+
     def _emit(self, buf: Buffer, smode: SendMode, rmode: RecvMode):
+        if self.aborted:
+            return
         desc = Descriptor(length=len(buf), smode=smode, rmode=rmode)
-        self._send_events.append(self.tm.send_item(
-            self.hop_dst, Buffer.wrap(encode_descriptor(desc)),
-            meta={"type": "desc"}))
+        self._send_events.append(self._send(
+            Buffer.wrap(encode_descriptor(desc)), meta={"type": "desc"}))
         if smode == SendMode.SAFER and not self.tm.protocol.tx_static:
             shadow = Buffer.alloc(len(buf), label="gtm.safer")
             shadow.copy_from(buf, self.accounting, self.sim.now, "gtm.safer")
             buf = shadow
         for off, size in split_fragments(len(buf), self.mtu):
+            if self.aborted:
+                return
             if self.tm.protocol.tx_static:
                 block = yield self.tm.tx_pool.acquire()
+                if self.aborted:
+                    # Aborted during the wait: a send submitted now could
+                    # never match — recycle the block and stop.
+                    self.tm.tx_pool.release(block)
+                    return
                 block.view(0, size).copy_from(
                     buf.view(off, off + size), self.accounting,
                     self.sim.now, "gtm.stage")
-                ev = self.tm.send_item(self.hop_dst, block.view(0, size),
-                                       meta={"type": "frag"})
+                ev = self._send(block.view(0, size), meta={"type": "frag"})
                 pool = self.tm.tx_pool
                 ev.add_callback(lambda _e, b=block: pool.release(b))
             else:
-                ev = self.tm.send_item(self.hop_dst, buf.view(off, off + size),
-                                       meta={"type": "frag"})
+                ev = self._send(buf.view(off, off + size),
+                                meta={"type": "frag"})
             self._send_events.append(ev)
 
     def _op_finalize(self):
         for buf, rmode in self._deferred:
+            if self.aborted:
+                break
             yield from self._emit(buf, SendMode.CHEAPER, rmode)
         self._deferred.clear()
-        terminator = Descriptor(length=0, terminator=True)
-        self._send_events.append(self.tm.send_item(
-            self.hop_dst, Buffer.wrap(encode_descriptor(terminator)),
-            meta={"type": "desc"}))
+        if not self.aborted:
+            terminator = Descriptor(length=0, terminator=True)
+            self._send_events.append(self._send(
+                Buffer.wrap(encode_descriptor(terminator)),
+                meta={"type": "desc"}))
         yield self.sim.all_of(self._send_events)
         self._send_events.clear()
 
@@ -151,7 +177,9 @@ class GTMIncoming(_ExecutorMixin):
         self.tm = endpoint.tm
         self.accounting = self.tm.channel.fabric.accounting
         self._deferred: list[Buffer] = []
+        self.aborted = False
         self._init_executor(self.tm.channel.sim, f"gtm-in:{self.msg_id}")
+        self._abort_ev = self.sim.event(name=f"gtm-in:{self.msg_id}.abort")
 
     # -- public interface ----------------------------------------------------
     def unpack(self, nbytes: Optional[int] = None,
@@ -171,6 +199,55 @@ class GTMIncoming(_ExecutorMixin):
     def end_unpacking(self) -> Event:
         return self._submit_final(self._op_finalize())
 
+    def abort(self) -> None:
+        """Abandon the rest of the message (fault recovery).
+
+        The peer gave up (or the stream is corrupt beyond repair):
+        remaining items will never arrive, so wake the executor out of any
+        pending receive or pool acquire, and reclaim the buffers those
+        operations hold.  Subsequent unpack events fail with an internal
+        abort error (callers that abandon a message have stopped waiting
+        on them).
+        """
+        if self.aborted:
+            return
+        self.aborted = True
+        if not self._abort_ev.triggered:
+            self._abort_ev.succeed()
+
+    # -- abort-aware waits --------------------------------------------------------
+    def _wait_acquire(self, pool):
+        """Pool acquire racing the abort switch; never strands a block."""
+        acq = pool.acquire()
+        idx, value = yield self.sim.any_of([acq, self._abort_ev])
+        if idx == 1:
+            if not pool.cancel_acquire(acq):
+                acq.add_callback(
+                    lambda ev, p=pool: p.release(ev.value) if ev.ok else None)
+            raise _UnpackAborted()
+        return value
+
+    def _wait_post(self, post_ev: Event, block, pool):
+        """Posted-receive wait racing the abort switch.
+
+        On abort, an unmatched slot is withdrawn from the fabric and its
+        landing block recycled at once; a matched one recycles when the
+        in-flight transfer completes.
+        """
+        idx, value = yield self.sim.any_of([post_ev, self._abort_ev])
+        if idx == 1:
+            fabric = self.tm.channel.fabric
+            tag = self.tm.body_tag(self.hop_src, self.msg_id)
+            if fabric.cancel_recv(self.tm.nic, tag, post_ev):
+                if pool is not None:
+                    pool.release(block)
+            elif pool is not None:
+                post_ev.add_callback(
+                    lambda ev, b=block, p=pool:
+                    p.release(b) if ev.ok else None)
+            raise _UnpackAborted()
+        return value
+
     # -- ops --------------------------------------------------------------------
     def _op_unpack(self, buf: Buffer, smode: SendMode, rmode: RecvMode):
         validate_modes(smode, rmode)
@@ -187,28 +264,40 @@ class GTMIncoming(_ExecutorMixin):
                 f"{len(buf)}B")
         for off, size in split_fragments(desc.length, self.mtu):
             if self.tm.protocol.rx_static:
-                block = yield self.tm.rx_pool.acquire()
-                meta, n = yield self.tm.post_item(self.hop_src, block)
-                self._expect(meta, n, "frag", size)
-                buf.view(off, off + size).copy_from(
-                    block.view(0, size), self.accounting, self.sim.now,
-                    "gtm.deliver")
-                self.tm.rx_pool.release(block)
+                block = yield from self._wait_acquire(self.tm.rx_pool)
+                post = self.tm.post_item(self.hop_src, block,
+                                         msg_id=self.msg_id)
+                meta, n = yield from self._wait_post(post, block,
+                                                     self.tm.rx_pool)
+                try:
+                    self._expect(meta, n, "frag", size)
+                    buf.view(off, off + size).copy_from(
+                        block.view(0, size), self.accounting, self.sim.now,
+                        "gtm.deliver")
+                finally:
+                    self.tm.rx_pool.release(block)
             else:
-                meta, n = yield self.tm.post_item(
-                    self.hop_src, buf.view(off, off + size))
+                post = self.tm.post_item(self.hop_src,
+                                         buf.view(off, off + size),
+                                         msg_id=self.msg_id)
+                meta, n = yield from self._wait_post(post, None, None)
                 self._expect(meta, n, "frag", size)
 
     def _recv_desc(self):
         if self.tm.protocol.rx_static:
-            block = yield self.tm.rx_pool.acquire()
-            meta, n = yield self.tm.post_item(self.hop_src, block)
-            self._expect(meta, n, "desc", DESC_BYTES)
-            desc = decode_descriptor(block.view(0, DESC_BYTES).tobytes())
-            self.tm.rx_pool.release(block)
+            block = yield from self._wait_acquire(self.tm.rx_pool)
+            post = self.tm.post_item(self.hop_src, block, msg_id=self.msg_id)
+            meta, n = yield from self._wait_post(post, block,
+                                                 self.tm.rx_pool)
+            try:
+                self._expect(meta, n, "desc", DESC_BYTES)
+                desc = decode_descriptor(block.view(0, DESC_BYTES).tobytes())
+            finally:
+                self.tm.rx_pool.release(block)
         else:
             dbuf = Buffer.alloc(DESC_BYTES, label="gtm.desc")
-            meta, n = yield self.tm.post_item(self.hop_src, dbuf)
+            post = self.tm.post_item(self.hop_src, dbuf, msg_id=self.msg_id)
+            meta, n = yield from self._wait_post(post, None, None)
             self._expect(meta, n, "desc", DESC_BYTES)
             desc = decode_descriptor(dbuf.tobytes())
         return desc

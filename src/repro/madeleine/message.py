@@ -104,7 +104,7 @@ class OutgoingMessage(_ExecutorMixin):
         # connection lock (concurrent messages to the same peer queue up).
         lock = endpoint.connection_lock(dst)
         self._finished.add_callback(lambda _ev: lock.release())
-        self.bmm = make_sender_bmm(tm, dst)
+        self.bmm = make_sender_bmm(tm, dst, self.msg_id)
         announce = Announce(mode=MODE_REGULAR, origin=endpoint.rank,
                             final_dst=dst, mtu=0, msg_id=self.msg_id)
         self._submit(self._announce_op(tm, lock, announce))
@@ -125,6 +125,17 @@ class OutgoingMessage(_ExecutorMixin):
         the whole message has been transmitted."""
         return self._submit_final(self.bmm.op_finalize())
 
+    def abort(self) -> None:
+        """Stop emitting and let pending sends complete into the void.
+
+        Used by fault-recovery code when the receiver abandoned this
+        message: remaining fragments are blackholed on the fabric so the
+        executor drains naturally and releases the connection lock.
+        """
+        self.bmm.aborted = True
+        tm = self.endpoint.tm
+        tm.channel.fabric.blackhole_pending_sends(tm.channel.id, self.msg_id)
+
 
 class IncomingMessage(_ExecutorMixin):
     """A message being unpacked at a regular channel endpoint.
@@ -142,7 +153,7 @@ class IncomingMessage(_ExecutorMixin):
         self.msg_id = announce.msg_id
         tm = endpoint.tm
         self._init_executor(tm.channel.sim, f"in:{self.msg_id}")
-        self.bmm = make_receiver_bmm(tm, hop_src)
+        self.bmm = make_receiver_bmm(tm, hop_src, self.msg_id)
 
     def unpack(self, nbytes: Optional[int] = None,
                smode: SendMode = SendMode.CHEAPER,

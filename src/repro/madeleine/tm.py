@@ -36,9 +36,11 @@ class TransmissionModule:
         # One FIFO announce stream per receiving endpoint (all senders).
         return ("ann", self.channel.id, self.rank)
 
-    def body_tag(self, src: int) -> tuple:
-        # In-order body stream per point-to-point connection.
-        return ("body", self.channel.id, src, self.rank)
+    def body_tag(self, src: int, msg_id: int = 0) -> tuple:
+        # In-order body stream per point-to-point connection, qualified by
+        # message id so a slot posted for an abandoned attempt can never
+        # steal fragments of a later (retried) message.
+        return ("body", self.channel.id, src, self.rank, msg_id)
 
     def _peer_nic(self, rank: int) -> NIC:
         return self.channel.tm(rank).nic
@@ -73,14 +75,16 @@ class TransmissionModule:
 
     # -- body items --------------------------------------------------------------
     def send_item(self, dst: int, payload: Optional[Buffer],
-                  meta: dict[str, Any], nbytes: Optional[int] = None) -> Event:
+                  meta: dict[str, Any], nbytes: Optional[int] = None,
+                  msg_id: int = 0) -> Event:
         peer = self._peer_nic(dst)
-        tag = ("body", self.channel.id, self.rank, dst)
+        tag = ("body", self.channel.id, self.rank, dst, msg_id)
         return self.nic.send(peer, tag, payload, meta=meta, nbytes=nbytes)
 
     def post_item(self, src: int, buffer: Optional[Buffer],
-                  capacity: Optional[int] = None) -> Event:
-        return self.channel.fabric.post_recv(self.nic, self.body_tag(src),
+                  capacity: Optional[int] = None, msg_id: int = 0) -> Event:
+        return self.channel.fabric.post_recv(self.nic,
+                                             self.body_tag(src, msg_id),
                                              buffer, capacity=capacity)
 
 

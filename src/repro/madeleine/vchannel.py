@@ -122,6 +122,58 @@ class VirtualChannel:
                     self.workers.append(ForwardingWorker(
                         self, gw, self._specials[ch.id], self.gateway_params))
         self._endpoints: dict[int, VChannelEndpoint] = {}
+        self._injector = None
+        injector = self.world.fabric.injector
+        if injector is not None:
+            self.watch_faults(injector)
+
+    # -- fault awareness ---------------------------------------------------------
+    def watch_faults(self, injector) -> None:
+        """Subscribe to an armed :class:`~repro.faults.FaultInjector` so link
+        and node transitions update routing health (failover) and crash /
+        revive this virtual channel's forwarding workers.
+
+        Called automatically from the constructor when a fault plan is armed
+        before the virtual channel is built."""
+        if self._injector is injector:
+            return
+        if self._injector is not None:
+            raise RuntimeError(f"{self.name!r} already watches an injector")
+        self._injector = injector
+        injector.subscribe(self._on_fault)
+
+    def _on_fault(self, kind: str, subject) -> None:
+        if kind == "link_down":
+            self.routes.mark_down(subject)
+        elif kind == "link_up":
+            self.routes.mark_up(subject)
+        elif kind == "node_down":
+            self.routes.mark_node_down(subject)
+            for w in self.workers:
+                if w.gw_rank == subject:
+                    w.retire()
+        elif kind == "node_up":
+            self.routes.mark_node_up(subject)
+            self._revive_rank(subject)
+
+    def _revive_rank(self, rank: int) -> None:
+        """Bring a restarted node back: flush stale state queued at its
+        endpoints, restart crashed announce listeners, and respawn the
+        forwarding workers that retired when it crashed."""
+        for ch in [*self.channels, *self._specials.values()]:
+            if rank in ch.members:
+                ep = ch.endpoint(rank)
+                ep.drain_incoming()
+                ep.restart_listener()
+        replaced = []
+        for w in self.workers:
+            if w.gw_rank == rank and w.retired:
+                w.retire()
+                replaced.append(ForwardingWorker(
+                    self, rank, w.in_channel, self.gateway_params))
+            else:
+                replaced.append(w)
+        self.workers = replaced
 
     # -- structure -------------------------------------------------------------
     @property

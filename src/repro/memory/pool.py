@@ -43,6 +43,8 @@ class StaticBufferPool:
             for i in range(count)
         )
         self._waiters: Deque[Event] = deque()
+        self._outstanding: set[Buffer] = set()
+        self._retired: set[Buffer] = set()
 
     @property
     def available(self) -> int:
@@ -54,6 +56,7 @@ class StaticBufferPool:
         if self._free and not self._waiters:
             buf = self._free.popleft()
             buf._released = False
+            self._outstanding.add(buf)
             ev.succeed(buf)
         else:
             self._waiters.append(ev)
@@ -65,16 +68,68 @@ class StaticBufferPool:
             raise PoolExhausted(f"pool {self.name!r} has no free block")
         buf = self._free.popleft()
         buf._released = False
+        self._outstanding.add(buf)
         return buf
 
     def release(self, buf: Buffer) -> None:
         if buf.owner is not self:
             raise ValueError(f"buffer {buf!r} does not belong to pool {self.name!r}")
+        if buf in self._retired:
+            # The pool was reset (node restart) while this block was still
+            # checked out by a dying pipeline: swallow the stale release.
+            self._retired.discard(buf)
+            return
         if buf._released:
             raise ValueError(f"double release of {buf!r}")
         buf._released = True
+        self._outstanding.discard(buf)
         if self._waiters:
             buf._released = False
+            self._outstanding.add(buf)
             self._waiters.popleft().succeed(buf)
         else:
             self._free.append(buf)
+
+    def cancel_acquire(self, ev: Event) -> bool:
+        """Withdraw a still-pending acquire.
+
+        Returns ``True`` if the event was waiting (it will never trigger);
+        ``False`` if it is no longer queued — typically granted (or failed)
+        in the same instant, in which case the caller owns whatever the
+        event delivers.
+        """
+        try:
+            self._waiters.remove(ev)
+        except ValueError:
+            return False
+        return True
+
+    # -- fault recovery ---------------------------------------------------------
+    def fail_waiters(self, exc: BaseException) -> int:
+        """Fail every blocked acquire with ``exc`` (node crash)."""
+        n = 0
+        while self._waiters:
+            ev = self._waiters.popleft()
+            if not ev.triggered:
+                ev.fail(exc)
+                n += 1
+        return n
+
+    def reset(self) -> int:
+        """Restore full capacity after a node restart.
+
+        Blocks still checked out by abandoned pipelines are *retired*: their
+        eventual release becomes a no-op instead of an error, and fresh
+        replacement blocks take their place.  Returns the number of blocks
+        replaced.
+        """
+        self._waiters.clear()
+        retired = len(self._outstanding)
+        self._retired |= self._outstanding
+        self._outstanding.clear()
+        for i in range(retired):
+            self._free.append(
+                Buffer(np.zeros(self.block_size, dtype=np.uint8),
+                       kind=STATIC, owner=self,
+                       label=f"{self.name}[r{i}]"))
+        return retired

@@ -6,12 +6,19 @@ id) so every node of the session computes identical tables — the paper's
 configurations are statically configured (§2.3), and consistency between
 the origin's choice and each gateway's next-hop choice is what keeps
 multi-gateway forwarding loop-free.
+
+Fault tolerance: the table additionally tracks *health* state.  A channel
+(link) or a rank (gateway node) can be marked down — routes are then
+computed over the surviving subgraph, and marked up again later.  Every
+health transition invalidates the route cache, so stale hops can never be
+returned; when no surviving path exists the table raises
+:class:`NoRouteError` with a diagnostic naming what is down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Sequence, Union
 
 import networkx as nx
 
@@ -39,6 +46,14 @@ class Hop:
         return f"<Hop {self.src}->{self.dst} via {self.channel.id}>"
 
 
+def _channel_id(channel: Union["RealChannel", str]) -> str:
+    cid = channel if isinstance(channel, str) else channel.id
+    # The special (forwarding) twin of a channel shares its physical rail:
+    # marking either marks the rail.  Twins are named "<id>!fwd" by the
+    # virtual channel; normalize so callers can pass either.
+    return cid[:-4] if cid.endswith("!fwd") else cid
+
+
 class RouteTable:
     """All-pairs minimum-hop routes over a set of real channels."""
 
@@ -46,10 +61,78 @@ class RouteTable:
         self.channels = list(channels)
         self.graph = build_graph(self.channels)
         self._cache: dict[tuple[int, int], list[Hop]] = {}
+        self._down_channels: set[str] = set()
+        self._down_nodes: set[int] = set()
+        self._active: nx.MultiGraph | None = None
 
     def members(self) -> list[int]:
         return sorted(self.graph.nodes)
 
+    # -- health -------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop all cached routes (and the cached surviving subgraph).
+
+        Called on every health transition so a route computed before a
+        failure can never be served after it.
+        """
+        self._cache.clear()
+        self._active = None
+
+    def mark_down(self, channel: Union["RealChannel", str]) -> None:
+        """Record that ``channel`` (or its forwarding twin) is unusable."""
+        self._down_channels.add(_channel_id(channel))
+        self.invalidate()
+
+    def mark_up(self, channel: Union["RealChannel", str]) -> None:
+        self._down_channels.discard(_channel_id(channel))
+        self.invalidate()
+
+    def mark_node_down(self, rank: int) -> None:
+        """Record that a rank (typically a crashed gateway) is unusable."""
+        self._down_nodes.add(rank)
+        self.invalidate()
+
+    def mark_node_up(self, rank: int) -> None:
+        self._down_nodes.discard(rank)
+        self.invalidate()
+
+    @property
+    def down_channels(self) -> frozenset[str]:
+        return frozenset(self._down_channels)
+
+    @property
+    def down_nodes(self) -> frozenset[int]:
+        return frozenset(self._down_nodes)
+
+    def is_healthy(self) -> bool:
+        return not self._down_channels and not self._down_nodes
+
+    @property
+    def active_graph(self) -> nx.MultiGraph:
+        """The channel graph restricted to live channels and live ranks."""
+        if self._active is None:
+            if self.is_healthy():
+                self._active = self.graph
+            else:
+                g = self.graph.copy()
+                g.remove_edges_from([
+                    (u, v, k) for u, v, k in g.edges(keys=True)
+                    if _channel_id(k) in self._down_channels
+                ])
+                g.remove_nodes_from([n for n in self._down_nodes if n in g])
+                self._active = g
+        return self._active
+
+    def _unreachable(self, rank: int) -> NoRouteError:
+        if rank in self.graph:
+            return NoRouteError(
+                f"rank {rank} is unreachable: partitioned by failures "
+                f"(channels down: {sorted(self._down_channels) or 'none'}, "
+                f"nodes down: {sorted(self._down_nodes) or 'none'})")
+        return NoRouteError(
+            f"rank {rank} is not reachable on this virtual channel")
+
+    # -- routes -------------------------------------------------------------
     def route(self, src: int, dst: int) -> list[Hop]:
         """Hops from ``src`` to ``dst`` (length 1 = direct, no forwarding)."""
         if src == dst:
@@ -64,13 +147,14 @@ class RouteTable:
         parallel *rails* a multi-gateway configuration offers."""
         if src == dst:
             raise ValueError("route to self")
-        if src not in self.graph or dst not in self.graph:
-            raise NoRouteError(f"rank {src if src not in self.graph else dst} "
-                               f"is not reachable on this virtual channel")
+        g = self.active_graph
+        for rank in (src, dst):
+            if rank not in g:
+                raise self._unreachable(rank)
         try:
-            paths = sorted(nx.all_shortest_paths(self.graph, src, dst))
+            paths = sorted(nx.all_shortest_paths(g, src, dst))
         except nx.NetworkXNoPath:
-            raise NoRouteError(f"no route from {src} to {dst}") from None
+            raise self._no_path(src, dst) from None
         return [self._hops_for(path) for path in paths]
 
     def next_hop(self, at: int, dst: int) -> Hop:
@@ -80,22 +164,32 @@ class RouteTable:
     def hop_count(self, src: int, dst: int) -> int:
         return len(self.route(src, dst))
 
+    def _no_path(self, src: int, dst: int) -> NoRouteError:
+        detail = ""
+        if not self.is_healthy():
+            detail = (f" (surviving subgraph is partitioned; channels down: "
+                      f"{sorted(self._down_channels) or 'none'}, nodes down: "
+                      f"{sorted(self._down_nodes) or 'none'})")
+        return NoRouteError(f"no route from {src} to {dst}{detail}")
+
     def _compute(self, src: int, dst: int) -> list[Hop]:
-        if src not in self.graph or dst not in self.graph:
-            raise NoRouteError(f"rank {src if src not in self.graph else dst} "
-                               f"is not reachable on this virtual channel")
+        g = self.active_graph
+        for rank in (src, dst):
+            if rank not in g:
+                raise self._unreachable(rank)
         try:
-            paths = list(nx.all_shortest_paths(self.graph, src, dst))
+            paths = list(nx.all_shortest_paths(g, src, dst))
         except nx.NetworkXNoPath:
-            raise NoRouteError(f"no route from {src} to {dst}") from None
+            raise self._no_path(src, dst) from None
         path = min(paths)  # deterministic tie-break on rank sequence
         return self._hops_for(path)
 
     def _hops_for(self, path: list[int]) -> list[Hop]:
+        g = self.active_graph
         hops: list[Hop] = []
         for a, b in zip(path, path[1:]):
-            # Deterministic channel choice among parallel edges.
-            data = self.graph.get_edge_data(a, b)
+            # Deterministic channel choice among (live) parallel edges.
+            data = g.get_edge_data(a, b)
             cid = min(data.keys())
             hops.append(Hop(channel=data[cid]["channel"], src=a, dst=b))
         return hops

@@ -14,7 +14,8 @@ Public surface:
 
 from .engine import (AllOf, AnyOf, Event, Process, Simulator, Timeout,
                      PRIORITY_LATE, PRIORITY_NORMAL, PRIORITY_URGENT)
-from .errors import DeadlockError, ProcessCrashed, SchedulingError, SimError
+from .errors import (DeadlockError, FaultError, GatewayCrashed, ProcessCrashed,
+                     RetryExhausted, SchedulingError, SimError, TransferTimeout)
 from .fluid import DMA, PIO, Flow, FluidNetwork, FluidResource
 from .sync import Barrier, Mutex, Queue, Semaphore, Signal
 from .trace import TraceRecord, TraceRecorder
@@ -22,7 +23,8 @@ from .trace import TraceRecord, TraceRecorder
 __all__ = [
     "AllOf", "AnyOf", "Event", "Process", "Simulator", "Timeout",
     "PRIORITY_LATE", "PRIORITY_NORMAL", "PRIORITY_URGENT",
-    "DeadlockError", "ProcessCrashed", "SchedulingError", "SimError",
+    "DeadlockError", "FaultError", "GatewayCrashed", "ProcessCrashed",
+    "RetryExhausted", "SchedulingError", "SimError", "TransferTimeout",
     "DMA", "PIO", "Flow", "FluidNetwork", "FluidResource",
     "Barrier", "Mutex", "Queue", "Semaphore", "Signal",
     "TraceRecord", "TraceRecorder",

@@ -131,6 +131,20 @@ class Queue:
             return True, item
         return False, None
 
+    def cancel_get(self, ev: Event) -> bool:
+        """Withdraw a pending ``get`` so it can never steal an item.
+
+        Needed when a getter gives up (e.g. raced against a shutdown event
+        in an ``any_of``): an abandoned getter left in place would consume
+        the next item and drop it on the floor.  Returns True if the get was
+        still pending and has been removed.
+        """
+        try:
+            self._getters.remove(ev)
+            return True
+        except ValueError:
+            return False
+
 
 class Barrier:
     """N-party reusable barrier."""

@@ -125,6 +125,77 @@ def test_negotiate_mtu_too_small_rejected():
         negotiate_mtu([], 100)
 
 
+# -- health / failover ---------------------------------------------------------
+
+def two_gateway_channels():
+    w = build_world({"m0": ["myrinet"], "gwA": ["myrinet", "sci"],
+                     "gwB": ["myrinet", "sci"], "s0": ["sci"]})
+    s = Session(w)
+    myri = s.channel("myrinet", ["m0", "gwA", "gwB"])
+    sci = s.channel("sci", ["gwA", "gwB", "s0"])
+    return w, myri, sci
+
+
+def test_mark_node_down_reroutes_around_gateway():
+    _w, myri, sci = two_gateway_channels()
+    rt = RouteTable([myri, sci])
+    assert [h.dst for h in rt.route(0, 3)] == [1, 3]   # prefers gwA
+    rt.mark_node_down(1)
+    assert [h.dst for h in rt.route(0, 3)] == [2, 3]   # survives via gwB
+    rt.mark_node_up(1)
+    assert [h.dst for h in rt.route(0, 3)] == [1, 3]   # restored
+
+
+def test_mark_down_invalidates_cached_routes():
+    """A route computed before a failure must never be served after it —
+    the health transition drops the cache."""
+    _w, myri, sci = two_gateway_channels()
+    rt = RouteTable([myri, sci])
+    before = rt.route(0, 3)                  # populates the cache
+    assert before[0].dst == 1
+    rt.mark_node_down(1)
+    assert rt.route(0, 3)[0].dst == 2        # not the stale cached hops
+    assert not rt.is_healthy()
+    assert rt.down_nodes == frozenset({1})
+
+
+def test_all_gateways_down_is_partition():
+    _w, myri, sci = two_gateway_channels()
+    rt = RouteTable([myri, sci])
+    rt.mark_node_down(1)
+    rt.mark_node_down(2)
+    with pytest.raises(NoRouteError, match="partitioned"):
+        rt.route(0, 3)
+
+
+def test_mark_channel_down_partitions_endpoint():
+    _w, myri, sci = two_gateway_channels()
+    rt = RouteTable([myri, sci])
+    rt.mark_down(myri)
+    with pytest.raises(NoRouteError):
+        rt.route(0, 3)
+    assert rt.route(1, 3)                    # SCI side still routable
+    rt.mark_up(myri)
+    assert [h.dst for h in rt.route(0, 3)] == [1, 3]
+    assert rt.is_healthy()
+
+
+def test_mark_down_accepts_forwarding_twin_id():
+    _w, myri, sci = two_gateway_channels()
+    rt = RouteTable([myri, sci])
+    rt.mark_down(myri.id + "!fwd")           # twin maps to the rail
+    assert myri.id in rt.down_channels
+    with pytest.raises(NoRouteError):
+        rt.route(0, 3)
+
+
+def test_down_unrelated_channel_keeps_routes():
+    _w, myri, sci = two_gateway_channels()
+    rt = RouteTable([myri, sci])
+    rt.mark_down("sbp")                      # not part of this vchannel
+    assert [h.dst for h in rt.route(0, 3)] == [1, 3]
+
+
 @given(n_nodes=st.integers(3, 8), seed=st.integers(0, 1000))
 @settings(max_examples=30, deadline=None)
 def test_random_chain_routes_are_loop_free(n_nodes, seed):

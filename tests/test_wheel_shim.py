@@ -99,7 +99,19 @@ def test_convert_requires_markers():
 
 
 def test_installed_wheel_module_importable():
-    """In the offline environment the shim is the installed `wheel`."""
-    import wheel  # noqa: F401
+    """In the offline environment the shim is the installed `wheel`.
+
+    When no ``wheel`` distribution is installed at all, the repo's shim
+    copy must still be importable from ``tools/wheel_shim`` — that is what
+    ``pip install -e .`` falls back to.
+    """
+    try:
+        import wheel  # noqa: F401
+    except ModuleNotFoundError:
+        sys.path.insert(0, str(TOOLS))
+        try:
+            import wheel  # noqa: F401
+        finally:
+            sys.path.remove(str(TOOLS))
     from wheel.wheelfile import WheelFile  # noqa: F401
     assert hasattr(WheelFile, "write_files") or True
