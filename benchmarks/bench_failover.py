@@ -32,7 +32,7 @@ def _run(drop_p, crash, nmsgs=2, seed=11):
         "m0": ["myrinet"], "gwA": ["myrinet", "sci"],
         "gwB": ["myrinet", "sci"], "s0": ["sci"],
     })
-    s = Session(w)
+    s = Session(w, telemetry=True)
     myri = s.channel("myrinet", ["m0", "gwA", "gwB"])
     sci = s.channel("sci", ["gwA", "gwB", "s0"])
     faults = ChannelFaults(drop_p=drop_p, corrupt_p=drop_p / 2)
@@ -71,7 +71,10 @@ def _run(drop_p, crash, nmsgs=2, seed=11):
         "elapsed_us": stats["done"],
         "goodput_mbs": total / stats["done"],
         "attempts": stats["attempts"],
-        "retransmits": rel_src.retransmits,
+        # the telemetry registry is the source of truth for recovery work
+        "retransmits": s.metrics.value("reliable.retransmits",
+                                       vchannel=vch.name, rank=0),
+        "failovers": s.metrics.total("vchannel.failovers"),
     }
 
 
@@ -116,6 +119,7 @@ def bench_failover(benchmark):
     # and recovery costs extra time but terminates well under the sum of
     # every retry budget (i.e. it is failover, not retry exhaustion)
     assert failover["attempts"][0] > 1
+    assert failover["failovers"] >= 1
     assert recovery > 0
     rp = RetryPolicy()
     assert failover["elapsed_us"] < baseline["elapsed_us"] + \

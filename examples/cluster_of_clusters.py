@@ -23,33 +23,36 @@ def run_direction(src: str, dst: str) -> None:
         "gateway": ["myrinet", "sci"],
         "sci0": ["sci"],
     })
-    session = Session(world)
-    vch = session.virtual_channel([
-        session.channel("myrinet", ["myri0", "gateway"]),
-        session.channel("sci", ["gateway", "sci0"]),
-    ], packet_size=PACKET)
+    # telemetry=True: the metrics registry and spans record this run.
+    with Session(world, packet_size=PACKET, telemetry=True) as session:
+        vch = session.virtual_channel([
+            session.channel("myrinet", ["myri0", "gateway"]),
+            session.channel("sci", ["gateway", "sci0"]),
+        ])
 
-    data = (np.arange(MESSAGE) % 251).astype(np.uint8)
-    done = {}
+        data = (np.arange(MESSAGE) % 251).astype(np.uint8)
+        done = {}
 
-    def sender():
-        msg = vch.endpoint(session.rank(src)).begin_packing(session.rank(dst))
-        yield msg.pack(data)
-        yield msg.end_packing()
+        def sender():
+            msg = vch.endpoint(session.rank(src)).begin_packing(
+                session.rank(dst))
+            yield msg.pack(data)
+            yield msg.end_packing()
 
-    def receiver():
-        incoming = yield vch.endpoint(session.rank(dst)).begin_unpacking()
-        _ev, buf = incoming.unpack(MESSAGE)
-        yield incoming.end_unpacking()
-        done["t"] = session.now
-        done["ok"] = bool((buf.data == data).all())
+        def receiver():
+            incoming = yield vch.endpoint(session.rank(dst)).begin_unpacking()
+            _ev, buf = incoming.unpack(MESSAGE)
+            yield incoming.end_unpacking()
+            done["t"] = session.now
+            done["ok"] = bool((buf.data == data).all())
 
-    session.spawn(sender())
-    session.spawn(receiver())
-    session.run()
+        session.spawn(sender())
+        session.spawn(receiver())
+        session.run()
 
     stats = pipeline_stats(extract_timeline(world.trace))
     gw_copies = world.accounting.by_label().get("gateway.static_copy", (0, 0))
+    metrics = session.metrics
     print(f"\n--- {src} -> {dst} "
           f"({MESSAGE >> 20} MB, {PACKET >> 10} KB paquets) ---")
     print(f"payload intact        : {done['ok']}")
@@ -59,6 +62,12 @@ def run_direction(src: str, dst: str) -> None:
           f"(send/recv ratio {stats.send_recv_ratio:.2f})")
     print(f"gateway copies        : {gw_copies[0]} ({gw_copies[1]} bytes) "
           f"— zero-copy forwarding")
+    print(f"gateway items         : "
+          f"{metrics.total('gateway.items_forwarded')} paquets forwarded, "
+          f"pipeline occupancy hwm "
+          f"{metrics.series('gateway.occupancy')[0].hwm}")
+    print(f"wire fragments        : {metrics.total('wire.fragments')} "
+          f"({metrics.total('wire.bytes')} bytes on the wire)")
     window = [s for s in extract_timeline(world.trace) if 2 <= s.seq <= 11]
     print(render_timeline(window))
 

@@ -25,56 +25,58 @@ def main() -> None:
                   ClusterSpec("s", "sci", 3)],
         gateways=[GatewayLink("m", "s")],
     )
-    session = Session(world)
-    vch = session.virtual_channel([
-        session.channel("myrinet", members["m"]),
-        session.channel("sci", members["s"] + gws),
-    ], packet_size=64 << 10)
+    with Session(world, packet_size=64 << 10) as session:
+        vch = session.virtual_channel([
+            session.channel("myrinet", members["m"]),
+            session.channel("sci", members["s"] + gws),
+        ])
 
-    workers = [session.rank(n) for n in members["m"][:3] + members["s"]]
-    n_workers = len(workers)
+        workers = [session.rank(n) for n in members["m"][:3] + members["s"]]
+        n_workers = len(workers)
 
-    class WorkerComm(Communicator):
-        @property
-        def ranks(self):
-            return workers
+        class WorkerComm(Communicator):
+            @property
+            def ranks(self):
+                return workers
 
-        @property
-        def size(self):
-            return n_workers
+            @property
+            def size(self):
+                return n_workers
 
-    rng = np.random.default_rng(42)
-    x = rng.standard_normal(N)
-    y = rng.standard_normal(N)
-    expected = float(x @ y)
-    chunks = np.array_split(np.arange(N), n_workers)
-    timings: dict[str, float] = {}
-    outputs: dict[tuple[str, int], float] = {}
+        rng = np.random.default_rng(42)
+        x = rng.standard_normal(N)
+        y = rng.standard_normal(N)
+        expected = float(x @ y)
+        chunks = np.array_split(np.arange(N), n_workers)
+        timings: dict[str, float] = {}
+        outputs: dict[tuple[str, int], float] = {}
 
-    def worker(i: int):
-        comm = WorkerComm(vch, workers[i])
-        lo, hi = chunks[i][0], chunks[i][-1] + 1
+        def worker(i: int):
+            comm = WorkerComm(vch, workers[i])
+            lo, hi = chunks[i][0], chunks[i][-1] + 1
 
-        def proc():
-            for algo in ALGOS:
-                partial = np.array([x[lo:hi] @ y[lo:hi]])
-                # pad to a vector so the ring variant has chunks to rotate
-                vec = np.zeros(n_workers, dtype=np.float64)
-                vec[i] = partial[0]
-                t0 = comm.sim.now
-                if algo == "tree":
-                    total = yield from allreduce(comm, vec, op=np.add)
-                else:
-                    total = yield from ring_allreduce(comm, vec, op=np.add)
-                outputs[(algo, i)] = float(total.sum())
-                yield from barrier(comm)
-                if i == 0:
-                    timings[algo] = comm.sim.now - t0
-        return proc
+            def proc():
+                for algo in ALGOS:
+                    partial = np.array([x[lo:hi] @ y[lo:hi]])
+                    # pad to a vector so the ring variant has chunks to
+                    # rotate
+                    vec = np.zeros(n_workers, dtype=np.float64)
+                    vec[i] = partial[0]
+                    t0 = comm.sim.now
+                    if algo == "tree":
+                        total = yield from allreduce(comm, vec, op=np.add)
+                    else:
+                        total = yield from ring_allreduce(comm, vec,
+                                                          op=np.add)
+                    outputs[(algo, i)] = float(total.sum())
+                    yield from barrier(comm)
+                    if i == 0:
+                        timings[algo] = comm.sim.now - t0
+            return proc
 
-    for i in range(n_workers):
-        session.spawn(worker(i)(), name=f"rank{i}")
-    session.run()
+        for i in range(n_workers):
+            session.spawn(worker(i)(), name=f"rank{i}")
+        session.run()
 
     print(f"distributed dot product over {n_workers} ranks "
           f"(3 Myrinet + 3 SCI, one gateway)")

@@ -25,49 +25,50 @@ def main() -> None:
         "gw_sb": ["sci", "sbp"],           # SCI/SBP gateway
         "b0": ["sbp"],
     })
-    session = Session(world)
-    vch = session.virtual_channel([
-        session.channel("myrinet", ["m0", "m1", "gw_ms"]),
-        session.channel("sci", ["gw_ms", "s0", "gw_sb"]),
-        session.channel("sbp", ["gw_sb", "b0"]),
-    ], packet_size=16 << 10)
+    with Session(world, packet_size=16 << 10, telemetry=True) as session:
+        vch = session.virtual_channel([
+            session.channel("myrinet", ["m0", "m1", "gw_ms"]),
+            session.channel("sci", ["gw_ms", "s0", "gw_sb"]),
+            session.channel("sbp", ["gw_sb", "b0"]),
+        ])
 
-    # Show the routes the virtual channel computed.
-    for dst in ("m1", "s0", "b0"):
-        route = vch.routes.route(session.rank("m0"), session.rank(dst))
-        path = " -> ".join(
-            f"{world.nodes[h.src].name}--[{h.channel.protocol.name}]"
-            for h in route) + f" -> {dst}"
-        print(f"route m0 -> {dst:5s}: {len(route)} hop(s): {path}")
+        # Show the routes the virtual channel computed.
+        for dst in ("m1", "s0", "b0"):
+            route = vch.routes.route(session.rank("m0"), session.rank(dst))
+            path = " -> ".join(
+                f"{world.nodes[h.src].name}--[{h.channel.protocol.name}]"
+                for h in route) + f" -> {dst}"
+            print(f"route m0 -> {dst:5s}: {len(route)} hop(s): {path}")
 
-    data = (np.arange(MESSAGE) % 247).astype(np.uint8)
-    done = {}
+        data = (np.arange(MESSAGE) % 247).astype(np.uint8)
+        done = {}
 
-    def sender():
-        msg = vch.endpoint(session.rank("m0")).begin_packing(session.rank("b0"))
-        yield msg.pack(data)
-        yield msg.end_packing()
+        def sender():
+            msg = vch.endpoint(session.rank("m0")).begin_packing(
+                session.rank("b0"))
+            yield msg.pack(data)
+            yield msg.end_packing()
 
-    def receiver():
-        incoming = yield vch.endpoint(session.rank("b0")).begin_unpacking()
-        _ev, buf = incoming.unpack(MESSAGE)
-        yield incoming.end_unpacking()
-        done["t"] = session.now
-        done["ok"] = bool((buf.data == data).all())
-        done["origin"] = world.nodes[incoming.origin].name
+        def receiver():
+            incoming = yield vch.endpoint(session.rank("b0")).begin_unpacking()
+            _ev, buf = incoming.unpack(MESSAGE)
+            yield incoming.end_unpacking()
+            done["t"] = session.now
+            done["ok"] = bool((buf.data == data).all())
+            done["origin"] = world.nodes[incoming.origin].name
 
-    session.spawn(sender())
-    session.spawn(receiver())
-    session.run()
+        session.spawn(sender())
+        session.spawn(receiver())
+        session.run()
 
     print(f"\nm0 -> b0 across two gateways:")
     print(f"  intact: {done['ok']}, origin seen by receiver: {done['origin']}")
     print(f"  one-way bandwidth: {MESSAGE / done['t']:.1f} MB/s")
-    for wk in vch.workers:
-        if wk.messages_forwarded:
-            print(f"  gateway {world.nodes[wk.gw_rank].name} "
-                  f"({wk.in_channel.protocol.name} side) forwarded "
-                  f"{wk.messages_forwarded} message(s)")
+    # Per-gateway forwarding counts come from the telemetry registry.
+    for series in session.metrics.series("gateway.messages_forwarded"):
+        if series.value:
+            print(f"  gateway {world.nodes[series.labels['gw']].name} "
+                  f"forwarded {series.value} message(s)")
 
 
 if __name__ == "__main__":

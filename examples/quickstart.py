@@ -13,37 +13,37 @@ from repro.madeleine import (RECV_CHEAPER, RECV_EXPRESS, SEND_CHEAPER,
 def main() -> None:
     # One simulated world: two PII-450-class machines on a Myrinet switch.
     world = build_world({"alice": ["myrinet"], "bob": ["myrinet"]})
-    session = Session(world)
-    channel = session.channel("myrinet", ["alice", "bob"])
+    with Session(world) as session:
+        channel = session.channel("myrinet", ["alice", "bob"])
 
-    # The message: a small size header (EXPRESS: the receiver needs it to
-    # interpret the rest) followed by a payload (CHEAPER: zero-copy).
-    payload = np.arange(1_000_000, dtype=np.uint8) % 251
-    header = np.array([len(payload)], dtype=np.uint32).view(np.uint8)
+        # The message: a small size header (EXPRESS: the receiver needs it
+        # to interpret the rest) followed by a payload (CHEAPER: zero-copy).
+        payload = np.arange(1_000_000, dtype=np.uint8) % 251
+        header = np.array([len(payload)], dtype=np.uint32).view(np.uint8)
 
-    def alice():
-        msg = channel.endpoint(0).begin_packing(dst=1)
-        yield msg.pack(header, SEND_CHEAPER, RECV_EXPRESS)
-        yield msg.pack(payload, SEND_CHEAPER, RECV_CHEAPER)
-        yield msg.end_packing()
-        print(f"[alice] message flushed at t={session.now:9.1f} µs")
+        def alice():
+            msg = channel.endpoint(0).begin_packing(dst=1)
+            yield msg.pack(header, SEND_CHEAPER, RECV_EXPRESS)
+            yield msg.pack(payload, SEND_CHEAPER, RECV_CHEAPER)
+            yield msg.end_packing()
+            print(f"[alice] message flushed at t={session.now:9.1f} µs")
 
-    def bob():
-        incoming = yield channel.endpoint(1).begin_unpacking()
-        ev, hdr = incoming.unpack(4, SEND_CHEAPER, RECV_EXPRESS)
-        yield ev                                    # EXPRESS: readable now
-        size = int(hdr.data.view(np.uint32)[0])
-        print(f"[bob]   header says {size} bytes follow")
-        _ev, body = incoming.unpack(size)
-        yield incoming.end_unpacking()
-        ok = bool((body.data == payload).all())
-        bw = size / session.now
-        print(f"[bob]   payload received at t={session.now:9.1f} µs "
-              f"(intact: {ok}, ≈{bw:.1f} MB/s)")
+        def bob():
+            incoming = yield channel.endpoint(1).begin_unpacking()
+            ev, hdr = incoming.unpack(4, SEND_CHEAPER, RECV_EXPRESS)
+            yield ev                                # EXPRESS: readable now
+            size = int(hdr.data.view(np.uint32)[0])
+            print(f"[bob]   header says {size} bytes follow")
+            _ev, body = incoming.unpack(size)
+            yield incoming.end_unpacking()
+            ok = bool((body.data == payload).all())
+            bw = size / session.now
+            print(f"[bob]   payload received at t={session.now:9.1f} µs "
+                  f"(intact: {ok}, ≈{bw:.1f} MB/s)")
 
-    session.spawn(alice(), "alice")
-    session.spawn(bob(), "bob")
-    session.run()
+        session.spawn(alice(), "alice")
+        session.spawn(bob(), "bob")
+        session.run()
     print(f"host copies performed: {world.accounting.copies} "
           f"(zero-copy dynamic path)")
 

@@ -26,44 +26,45 @@ def main() -> None:
         "w_sci0": ["sci"],
         "w_sci1": ["sci"],
     })
-    session = Session(world)
-    vch = session.virtual_channel([
-        session.channel("myrinet", ["master", "w_myri", "gateway"]),
-        session.channel("sci", ["gateway", "w_sci0", "w_sci1"]),
-    ], packet_size=32 << 10)
+    with Session(world, packet_size=32 << 10) as session:
+        vch = session.virtual_channel([
+            session.channel("myrinet", ["master", "w_myri", "gateway"]),
+            session.channel("sci", ["gateway", "w_sci0", "w_sci1"]),
+        ])
 
-    nodes = {r: RpcNode(vch, r) for r in vch.members}
-    for n in nodes.values():
-        n.start()
+        nodes = {r: RpcNode(vch, r) for r in vch.members}
+        for n in nodes.values():
+            n.start()
 
-    rng = np.random.default_rng(7)
-    tasks = [(rng.standard_normal((BLOCK, BLOCK)),
-              rng.standard_normal((BLOCK, BLOCK))) for _ in range(N_TASKS)]
+        rng = np.random.default_rng(7)
+        tasks = [(rng.standard_normal((BLOCK, BLOCK)),
+                  rng.standard_normal((BLOCK, BLOCK)))
+                 for _ in range(N_TASKS)]
 
-    def matmul_handler(call):
-        raw = call.payload_array(np.float64)
-        a = raw[:BLOCK * BLOCK].reshape(BLOCK, BLOCK)
-        b = raw[BLOCK * BLOCK:].reshape(BLOCK, BLOCK)
-        return np.ascontiguousarray(a @ b)
+        def matmul_handler(call):
+            raw = call.payload_array(np.float64)
+            a = raw[:BLOCK * BLOCK].reshape(BLOCK, BLOCK)
+            b = raw[BLOCK * BLOCK:].reshape(BLOCK, BLOCK)
+            return np.ascontiguousarray(a @ b)
 
-    workers = [session.rank(n) for n in ("w_myri", "w_sci0", "w_sci1")]
-    for wr in workers:
-        nodes[wr].register("matmul", matmul_handler)
+        workers = [session.rank(n) for n in ("w_myri", "w_sci0", "w_sci1")]
+        for wr in workers:
+            nodes[wr].register("matmul", matmul_handler)
 
-    results: dict[int, np.ndarray] = {}
+        results: dict[int, np.ndarray] = {}
 
-    def master():
-        rr = 0
-        for i, (a, b) in enumerate(tasks):
-            worker = workers[rr % len(workers)]
-            rr += 1
-            payload = np.concatenate([a.reshape(-1), b.reshape(-1)])
-            reply = yield from nodes[session.rank("master")].call(
-                worker, "matmul", payload)
-            results[i] = reply.array(np.float64).reshape(BLOCK, BLOCK)
+        def master():
+            rr = 0
+            for i, (a, b) in enumerate(tasks):
+                worker = workers[rr % len(workers)]
+                rr += 1
+                payload = np.concatenate([a.reshape(-1), b.reshape(-1)])
+                reply = yield from nodes[session.rank("master")].call(
+                    worker, "matmul", payload)
+                results[i] = reply.array(np.float64).reshape(BLOCK, BLOCK)
 
-    session.spawn(master(), "master")
-    session.run()
+        session.spawn(master(), "master")
+        session.run()
 
     ok = all(np.allclose(results[i], a @ b)
              for i, (a, b) in enumerate(tasks))

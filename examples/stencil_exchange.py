@@ -27,52 +27,53 @@ def main() -> None:
                   ClusterSpec("s", "sci", 3)],
         gateways=[GatewayLink("m", "s")],
     )
-    session = Session(world)
-    vch = session.virtual_channel([
-        session.channel("myrinet", members["m"]),
-        session.channel("sci", members["s"] + gws),
-    ], packet_size=32 << 10)
+    with Session(world, packet_size=32 << 10) as session:
+        vch = session.virtual_channel([
+            session.channel("myrinet", members["m"]),
+            session.channel("sci", members["s"] + gws),
+        ])
 
-    workers = members["m"][:3] + members["s"]      # m0 m1 m2 | s0 s1 s2
-    ranks = [session.rank(n) for n in workers]
-    iter_times: list[float] = []
+        workers = members["m"][:3] + members["s"]  # m0 m1 m2 | s0 s1 s2
+        ranks = [session.rank(n) for n in workers]
+        iter_times: list[float] = []
 
-    def worker(i: int):
-        rank = ranks[i]
-        left = ranks[i - 1] if i > 0 else None
-        right = ranks[i + 1] if i < len(ranks) - 1 else None
-        halo = np.full(HALO, i, dtype=np.uint8)
+        def worker(i: int):
+            rank = ranks[i]
+            left = ranks[i - 1] if i > 0 else None
+            right = ranks[i + 1] if i < len(ranks) - 1 else None
+            halo = np.full(HALO, i, dtype=np.uint8)
 
-        def proc():
-            for it in range(ITERATIONS):
-                pending = []
-                # Send halos to both neighbours (don't block: a head-to-head
-                # exchange must post its receives before waiting).
-                for nb in (left, right):
-                    if nb is None:
-                        continue
-                    msg = vch.endpoint(rank).begin_packing(nb)
-                    msg.pack(halo)
-                    pending.append(msg.end_packing())
-                # Receive one halo per neighbour.
-                for nb in (left, right):
-                    if nb is None:
-                        continue
-                    incoming = yield vch.endpoint(rank).begin_unpacking()
-                    _ev, buf = incoming.unpack(HALO)
-                    yield incoming.end_unpacking()
-                    src_idx = ranks.index(incoming.origin)
-                    assert buf.data[0] == src_idx, "halo corrupted"
-                for ev in pending:
-                    yield ev
-                if i == 0:
-                    iter_times.append(session.now)
-            return None
-        return proc
+            def proc():
+                for it in range(ITERATIONS):
+                    pending = []
+                    # Send halos to both neighbours (don't block: a
+                    # head-to-head exchange must post its receives before
+                    # waiting).
+                    for nb in (left, right):
+                        if nb is None:
+                            continue
+                        msg = vch.endpoint(rank).begin_packing(nb)
+                        msg.pack(halo)
+                        pending.append(msg.end_packing())
+                    # Receive one halo per neighbour.
+                    for nb in (left, right):
+                        if nb is None:
+                            continue
+                        incoming = yield vch.endpoint(rank).begin_unpacking()
+                        _ev, buf = incoming.unpack(HALO)
+                        yield incoming.end_unpacking()
+                        src_idx = ranks.index(incoming.origin)
+                        assert buf.data[0] == src_idx, "halo corrupted"
+                    for ev in pending:
+                        yield ev
+                    if i == 0:
+                        iter_times.append(session.now)
+                return None
+            return proc
 
-    for i in range(len(workers)):
-        session.spawn(worker(i)(), name=f"worker-{workers[i]}")
-    session.run()
+        for i in range(len(workers)):
+            session.spawn(worker(i)(), name=f"worker-{workers[i]}")
+        session.run()
 
     print(f"halo exchange on m0 m1 m2 | gateway | s0 s1 s2 "
           f"({HALO >> 10} KB halos)")

@@ -3,7 +3,9 @@
 from .ascii_plot import plot_series
 from .model import (PipelinePrediction, fragment_time,
                     predict_forwarding)
-from .export import to_chrome_trace, write_chrome_trace
+from .export import (metrics_to_rows, spans_to_chrome, to_chrome_trace,
+                     write_chrome_trace, write_metrics_csv,
+                     write_metrics_json, write_spans_chrome)
 from .occupancy import BusMonitor
 from .stats import SessionStats, collect_stats, format_stats
 from .bandwidth import (bandwidth, crossover_size, fit_linear_cost,
@@ -15,6 +17,8 @@ __all__ = [
     "plot_series", "BusMonitor",
     "PipelinePrediction", "fragment_time", "predict_forwarding",
     "to_chrome_trace", "write_chrome_trace",
+    "metrics_to_rows", "spans_to_chrome", "write_metrics_csv",
+    "write_metrics_json", "write_spans_chrome",
     "SessionStats", "collect_stats", "format_stats",
     "bandwidth", "crossover_size", "fit_linear_cost", "half_bandwidth_point",
     "PipelineStats", "StepTimeline", "extract_timeline", "pipeline_stats",

@@ -1,19 +1,31 @@
-"""Trace export to the Chrome trace-event format.
+"""Exporters: traces, spans, and metrics to on-disk formats.
 
-``chrome://tracing`` / Perfetto can open the produced JSON: gateway pipeline
-steps and wire transfers appear as duration events on per-component tracks,
-which makes the Figure 5/8 behaviour directly explorable.
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — legacy trace
+  records to the Chrome trace-event format (``chrome://tracing`` /
+  Perfetto): gateway pipeline steps and wire transfers appear as duration
+  events on per-component tracks, which makes the Figure 5/8 behaviour
+  directly explorable;
+* :func:`spans_to_chrome` / :func:`write_spans_chrome` — the same format
+  built from :class:`~repro.telemetry.SpanTracker` spans, which carry
+  explicit begin/end times and nesting instead of heuristics;
+* :func:`write_metrics_json` / :func:`write_metrics_csv` — a
+  :meth:`~repro.telemetry.MetricsRegistry.snapshot` as JSON, or flattened
+  to long-format CSV (one row per series and field) for spreadsheet use.
 """
 
 from __future__ import annotations
 
+import csv
 import json
 from pathlib import Path
-from typing import Union
+from typing import Any, Union
 
 from ..sim.trace import TraceRecorder
+from ..telemetry import MetricsRegistry, SpanTracker
 
-__all__ = ["to_chrome_trace", "write_chrome_trace"]
+__all__ = ["to_chrome_trace", "write_chrome_trace",
+           "spans_to_chrome", "write_spans_chrome",
+           "write_metrics_json", "write_metrics_csv"]
 
 
 def to_chrome_trace(trace: TraceRecorder) -> list[dict]:
@@ -73,3 +85,86 @@ def write_chrome_trace(trace: TraceRecorder,
     payload = {"traceEvents": events, "displayTimeUnit": "ms"}
     Path(path).write_text(json.dumps(payload), encoding="utf-8")
     return len(events)
+
+
+# -- spans -----------------------------------------------------------------
+def spans_to_chrome(tracker: SpanTracker) -> list[dict]:
+    """Completed spans as Chrome complete ('X') events.
+
+    One pid per span category; the span's name, id, parent, and attributes
+    travel in ``args`` so Perfetto's selection panel shows them.
+    """
+    events: list[dict] = []
+    for sp in tracker.completed:
+        events.append({
+            "name": sp.name,
+            "cat": sp.category,
+            "ph": "X",
+            "ts": sp.start,
+            "dur": max(sp.stop - sp.start, 0.01),
+            "pid": f"span:{sp.category}",
+            "tid": sp.name,
+            "args": {"span": sp.id, "parent": sp.parent, **sp.attrs},
+        })
+    return events
+
+
+def write_spans_chrome(tracker: SpanTracker,
+                       path: Union[str, Path]) -> int:
+    """Write completed spans as Chrome JSON; returns the number of events."""
+    events = spans_to_chrome(tracker)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+    return len(events)
+
+
+# -- metrics ---------------------------------------------------------------
+def _as_snapshot(metrics: Union[MetricsRegistry, dict]) -> dict[str, Any]:
+    return metrics.snapshot() if isinstance(metrics, MetricsRegistry) \
+        else metrics
+
+
+def write_metrics_json(metrics: Union[MetricsRegistry, dict],
+                       path: Union[str, Path]) -> int:
+    """Write a metrics snapshot (or a registry) as JSON; returns the number
+    of metric names written."""
+    snapshot = _as_snapshot(metrics)
+    Path(path).write_text(json.dumps(snapshot, indent=2, sort_keys=True),
+                          encoding="utf-8")
+    return len(snapshot)
+
+
+def metrics_to_rows(metrics: Union[MetricsRegistry, dict]) -> list[list]:
+    """Flatten a snapshot to long-format rows:
+    ``[metric, kind, labels, field, value]``, deterministically ordered.
+
+    Histogram buckets become ``bucket.le_<bound>`` fields; the labels
+    column is ``k=v`` pairs joined with ``;``.
+    """
+    rows: list[list] = []
+    for name, entry in sorted(_as_snapshot(metrics).items()):
+        for series in entry["series"]:
+            labels = ";".join(f"{k}={v}" for k, v in
+                              sorted(series["labels"].items()))
+            for field, value in series.items():
+                if field == "labels":
+                    continue
+                if isinstance(value, dict):
+                    for sub, n in value.items():
+                        rows.append([name, entry["kind"], labels,
+                                     f"{field}.{sub}", n])
+                else:
+                    rows.append([name, entry["kind"], labels, field, value])
+    return rows
+
+
+def write_metrics_csv(metrics: Union[MetricsRegistry, dict],
+                      path: Union[str, Path]) -> int:
+    """Write a metrics snapshot (or a registry) as long-format CSV; returns
+    the number of data rows."""
+    rows = metrics_to_rows(metrics)
+    with Path(path).open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["metric", "kind", "labels", "field", "value"])
+        writer.writerows(rows)
+    return len(rows)

@@ -7,11 +7,14 @@ Examples::
     python -m repro raw --protocol myrinet
     python -m repro fig6
     python -m repro fig7 --packets 8K,128K
+    python -m repro stats --direction sci-to-myri --size 4M
+    python -m repro trace --size 1M --out trace.json
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 
 from .analysis import plot_series
@@ -21,18 +24,16 @@ from .hw import PROTOCOLS
 
 __all__ = ["main"]
 
+_SIZE_RE = re.compile(r"(\d+(?:\.\d+)?)([KMG]?)B?", re.IGNORECASE)
+_SIZE_MULT = {"": 1, "K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+
 
 def _parse_size(text: str) -> int:
-    text = text.strip().upper()
-    mult = 1
-    if text.endswith("K"):
-        mult, text = 1 << 10, text[:-1]
-    elif text.endswith("M"):
-        mult, text = 1 << 20, text[:-1]
-    try:
-        return int(float(text) * mult)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"bad size {text!r}") from None
+    m = _SIZE_RE.fullmatch(text.strip())
+    if m is None:
+        raise argparse.ArgumentTypeError(
+            f"bad size {text!r} (expected e.g. 512, 64K, 4M, 1G)")
+    return int(float(m.group(1)) * _SIZE_MULT[m.group(2).upper()])
 
 
 def _parse_sizes(text: str) -> list[int]:
@@ -122,6 +123,100 @@ def cmd_fig7(args) -> int:
                    "Figure 7: forwarding bandwidth, Myrinet -> SCI")
 
 
+_DIRECTIONS = {"sci-to-myri": ("s0", "m0"), "myri-to-sci": ("m0", "s0")}
+
+
+def _forwarded_run(args):
+    """One telemetry-enabled reliable transfer across the canonical
+    two-gateway testbed (m0 —myrinet— {gwA,gwB} —sci— s0).
+
+    Returns ``(session, elapsed_us, attempts)``.
+    """
+    import numpy as np
+
+    from .faults import ChannelFaults, FaultPlan
+    from .hw import build_world
+    from .hw.params import GatewayParams
+    from .madeleine import ReliableEndpoint, RetryPolicy, Session
+
+    src_name, dst_name = _DIRECTIONS[args.direction]
+    plan = None
+    if args.drop > 0:
+        plan = FaultPlan(seed=args.seed,
+                         default=ChannelFaults(drop_p=args.drop))
+    world = build_world({"m0": ["myrinet"], "gwA": ["myrinet", "sci"],
+                         "gwB": ["myrinet", "sci"], "s0": ["sci"]})
+    session = Session(world, packet_size=args.packet, telemetry=True,
+                      fault_plan=plan)
+    myri = session.channel("myrinet", ["m0", "gwA", "gwB"])
+    sci = session.channel("sci", ["gwA", "gwB", "s0"])
+    # The bounded gateway stall keeps an abandoned attempt (chaos mode)
+    # from wedging a forwarding worker while it holds the outgoing
+    # connection lock.
+    vch = session.virtual_channel(
+        [myri, sci], gateway_params=GatewayParams(stall_timeout=5_000.0))
+    src, dst = session.rank(src_name), session.rank(dst_name)
+    # The recovery clocks must cover one whole attempt (~size / bandwidth):
+    # an RTO shorter than the transfer would retransmit mid-flight on a
+    # healthy fabric, and a re-ACK period shorter than the attempt makes
+    # the sender mistake a progress report for an abandoned attempt.
+    rto = 50_000.0 + args.size * 0.2
+    policy = RetryPolicy(rto=rto, rto_max=2 * rto,
+                         reack_interval=rto, reack_ttl=4 * rto)
+    rel_src = ReliableEndpoint(vch.endpoint(src), policy)
+    rel_dst = ReliableEndpoint(vch.endpoint(dst), policy)
+    payload = np.zeros(args.size, dtype=np.uint8)
+    result = {}
+
+    def sender():
+        result["attempts"] = yield from rel_src.send(dst, payload)
+
+    def receiver():
+        _src, data, _tid = yield from rel_dst.recv()
+        result["t"] = session.now
+        result["nbytes"] = len(data)
+
+    session.spawn(sender(), name="stats:send")
+    session.spawn(receiver(), name="stats:recv")
+    session.run()
+    session.close()
+    return session, result["t"], result.get("attempts", 0)
+
+
+def cmd_stats(args) -> int:
+    from .telemetry import format_metrics
+
+    session, elapsed, attempts = _forwarded_run(args)
+    print(f"{args.direction}, {args.size} B message, "
+          f"{args.packet >> 10} KB packets, drop_p={args.drop}:")
+    print(f"  delivered in {elapsed:.1f} µs "
+          f"({args.size / elapsed:.1f} MB/s), {attempts} attempt(s)\n")
+    snapshot = session.metrics.snapshot()
+    print(format_metrics(snapshot))
+    if args.json:
+        from .analysis import write_metrics_json
+        write_metrics_json(snapshot, args.json)
+        print(f"\nwrote {args.json}")
+    if args.csv:
+        from .analysis import write_metrics_csv
+        write_metrics_csv(snapshot, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .analysis import write_chrome_trace, write_spans_chrome
+
+    session, elapsed, _attempts = _forwarded_run(args)
+    n = write_chrome_trace(session.trace, args.out)
+    print(f"wrote {args.out}: {n} trace events "
+          f"(run took {elapsed:.1f} µs simulated)")
+    if args.spans_out:
+        n = write_spans_chrome(session.spans, args.spans_out)
+        print(f"wrote {args.spans_out}: {n} span events")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -151,6 +246,33 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sizes", type=_parse_sizes,
                        default=list(PAPER_MESSAGE_SIZES))
         p.set_defaults(fn=fn)
+
+    def _forward_args(p) -> None:
+        p.add_argument("--direction", choices=sorted(_DIRECTIONS),
+                       default="sci-to-myri")
+        p.add_argument("--size", type=_parse_size, default=4 << 20)
+        p.add_argument("--packet", type=_parse_size, default=64 << 10)
+        p.add_argument("--drop", type=float, default=0.0,
+                       help="per-fragment drop probability (chaos)")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "stats", help="telemetry snapshot of one forwarded transfer")
+    _forward_args(p)
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the snapshot as JSON")
+    p.add_argument("--csv", metavar="PATH",
+                   help="also write the snapshot as CSV")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "trace", help="Chrome about:tracing export of one forwarded transfer")
+    _forward_args(p)
+    p.add_argument("--out", default="trace.json",
+                   help="trace-event JSON output path")
+    p.add_argument("--spans-out", default="",
+                   help="also export telemetry spans to this path")
+    p.set_defaults(fn=cmd_trace)
     return parser
 
 

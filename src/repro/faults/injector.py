@@ -20,7 +20,6 @@ from ..sim import GatewayCrashed
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..hw.fabric import NIC, _SendRequest
-    from ..hw.node import Node
     from ..hw.topology import World
     from .plan import FaultPlan
 
@@ -61,6 +60,12 @@ class FaultInjector:
         self.dropped = 0
         self.corrupted = 0
         self.delayed = 0
+        m = world.telemetry.metrics
+        self._m_dropped = m.counter("faults.fragments_dropped")
+        self._m_corrupted = m.counter("faults.fragments_corrupted")
+        self._m_delayed = m.counter("faults.fragments_delayed")
+        self._m_link_events = m.counter("faults.link_transitions")
+        self._m_node_events = m.counter("faults.node_transitions")
         sim = world.sim
         for i, ev in enumerate(plan.link_events):
             sim.process(self._link_driver(ev), name=f"fault:link{i}")
@@ -96,6 +101,7 @@ class FaultInjector:
         if cid in self.down_channels:
             return
         self.down_channels.add(cid)
+        self._m_link_events.inc()
         self.world.trace.emit(self.world.sim.now, "fault", "link_down",
                               channel=cid)
         self._notify("link_down", cid)
@@ -105,6 +111,7 @@ class FaultInjector:
         if cid not in self.down_channels:
             return
         self.down_channels.discard(cid)
+        self._m_link_events.inc()
         self.world.trace.emit(self.world.sim.now, "fault", "link_up",
                               channel=cid)
         self._notify("link_up", cid)
@@ -114,6 +121,7 @@ class FaultInjector:
         if node.rank in self.down_nodes:
             return
         self.down_nodes.add(node.rank)
+        self._m_node_events.inc()
         exc = GatewayCrashed(node.name)
         self.world.fabric.crash_node(node, exc)
         for nic in node.nics.values():
@@ -129,6 +137,7 @@ class FaultInjector:
         if node.rank not in self.down_nodes:
             return
         self.down_nodes.discard(node.rank)
+        self._m_node_events.inc()
         for nic in node.nics.values():
             for pool in (nic.tx_pool, nic.rx_pool):
                 if pool is not None:
@@ -150,6 +159,7 @@ class FaultInjector:
         if (nic.node.rank in self.down_nodes
                 or req.dst.node.rank in self.down_nodes):
             self.dropped += 1
+            self._m_dropped.inc()
             return Verdict(drop=True)
         tag = req.tag
         if not (isinstance(tag, tuple) and len(tag) >= 2):
@@ -157,6 +167,7 @@ class FaultInjector:
         cid = base_channel_id(tag[1])
         if cid in self.down_channels:
             self.dropped += 1
+            self._m_dropped.inc()
             return Verdict(drop=True)
         cf = self.plan.channels.get(cid, self.plan.default)
         if cf is None or cf.quiet:
@@ -164,6 +175,7 @@ class FaultInjector:
         rng = self.rng
         if cf.drop_p > 0 and rng.random() < cf.drop_p:
             self.dropped += 1
+            self._m_dropped.inc()
             return Verdict(drop=True)
         corrupt = cf.corrupt_p > 0 and rng.random() < cf.corrupt_p
         delayed = cf.delay_p > 0 and rng.random() < cf.delay_p
@@ -173,5 +185,9 @@ class FaultInjector:
         delay = rng.uniform(0.0, cf.delay_us) if delayed else 0.0
         self.corrupted += int(corrupt)
         self.delayed += int(delayed)
+        if corrupt:
+            self._m_corrupted.inc()
+        if delayed:
+            self._m_delayed.inc()
         return Verdict(corrupt=corrupt, corrupt_offset=offset,
                        delay_us=delay)

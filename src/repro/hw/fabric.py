@@ -23,6 +23,7 @@ from typing import Any, Optional, Sequence, Union
 
 from ..memory import Buffer, CopyAccounting, StaticBufferPool
 from ..sim import Event, FluidNetwork, FluidResource, Queue, Simulator, TraceRecorder
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .node import Node
 from .params import ProtocolParams
 
@@ -133,12 +134,19 @@ class NIC:
         self.name = label
         self.tx_link = FluidResource(f"link:{label}.tx", protocol.link_bandwidth)
         self.rx_link = FluidResource(f"link:{label}.rx", protocol.link_bandwidth)
+        telemetry = fabric.telemetry
         self.tx_pool = (StaticBufferPool(sim, protocol.pool_blocks,
-                                         protocol.max_mtu, f"{label}.txpool")
+                                         protocol.max_mtu, f"{label}.txpool",
+                                         telemetry=telemetry)
                         if protocol.tx_static else None)
         self.rx_pool = (StaticBufferPool(sim, protocol.pool_blocks,
-                                         protocol.max_mtu, f"{label}.rxpool")
+                                         protocol.max_mtu, f"{label}.rxpool",
+                                         telemetry=telemetry)
                         if protocol.rx_static else None)
+        self._m_fragments = telemetry.metrics.counter(
+            "wire.fragments", proto=protocol.name, nic=label)
+        self._m_bytes = telemetry.metrics.counter(
+            "wire.bytes", proto=protocol.name, nic=label)
         self._txq: Queue = Queue(sim, name=f"{label}.txq")
         sim.process(self._tx_engine(), name=f"nic:{label}")
         node.nics[(protocol.name, index)] = self
@@ -249,6 +257,8 @@ class NIC:
                 src=self.name, dst=req.dst.name, proto=proto.name,
                 nbytes=req.nbytes, start=t0, tag=str(req.tag),
                 kind=req.meta.get("type"))
+            self._m_fragments.inc()
+            self._m_bytes.inc(req.nbytes)
             req.done.succeed(req.nbytes)
             self.fabric._complete_recv(req.dst, slot, req)
 
@@ -261,12 +271,14 @@ class Fabric:
 
     def __init__(self, sim: Simulator, fnet: FluidNetwork,
                  trace: Optional[TraceRecorder] = None,
-                 accounting: Optional[CopyAccounting] = None) -> None:
+                 accounting: Optional[CopyAccounting] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.sim = sim
         self.fnet = fnet
         # `is not None` matters: an empty TraceRecorder is falsy (__len__).
         self.trace = trace if trace is not None else TraceRecorder()
         self.accounting = accounting if accounting is not None else CopyAccounting()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._match: dict[tuple[int, Any], _MatchPoint] = {}
         #: optional duck-typed fault hook with a ``fragment_verdict(nic, req)``
         #: method (see :mod:`repro.faults`).  ``None`` keeps the happy path

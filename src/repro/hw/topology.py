@@ -14,6 +14,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 from ..memory import CopyAccounting
 from ..sim import FluidNetwork, Simulator, TraceRecorder
+from ..telemetry import Telemetry
 from .fabric import Fabric, NIC
 from .node import Node
 from .params import PROTOCOLS, NodeParams, ProtocolParams
@@ -29,7 +30,12 @@ class World:
         self.fnet = FluidNetwork(self.sim)
         self.trace = TraceRecorder()
         self.accounting = CopyAccounting()
-        self.fabric = Fabric(self.sim, self.fnet, self.trace, self.accounting)
+        # Off by default: a disabled registry records nothing and keeps
+        # benchmark numbers bit-identical (Session(telemetry=True) enables it).
+        self.telemetry = Telemetry(clock=lambda: self.sim.now,
+                                   trace=self.trace, enabled=False)
+        self.fabric = Fabric(self.sim, self.fnet, self.trace, self.accounting,
+                             telemetry=self.telemetry)
         self.node_params = node_params or NodeParams()
         self.nodes: dict[int, Node] = {}
         self.names: dict[str, Node] = {}

@@ -18,6 +18,7 @@ Layering (Figure 1 + the paper's extension):
 
 from .bmm import UnpackMismatch, split_fragments
 from .channel import Endpoint, RealChannel
+from .endpoint import MessageEndpoint
 from .flags import (RECV_CHEAPER, RECV_EXPRESS, SEND_CHEAPER, SEND_LATER,
                     SEND_SAFER, RecvMode, SendMode, validate_modes)
 from .gateway import ForwardingWorker, GatewayError
@@ -33,7 +34,7 @@ from .wire import (ANNOUNCE_BYTES, DESC_BYTES, MODE_GTM, MODE_REGULAR,
 
 __all__ = [
     "UnpackMismatch", "split_fragments",
-    "Endpoint", "RealChannel",
+    "Endpoint", "RealChannel", "MessageEndpoint",
     "RECV_CHEAPER", "RECV_EXPRESS", "SEND_CHEAPER", "SEND_LATER",
     "SEND_SAFER", "RecvMode", "SendMode", "validate_modes",
     "ForwardingWorker", "GatewayError",

@@ -19,9 +19,10 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from ..hw.topology import World
 from ..memory import Buffer
 from ..sim import Event, GatewayCrashed, Mutex, Queue
+from .endpoint import MessageEndpoint
 from .message import IncomingMessage, OutgoingMessage
 from .tm import TransmissionModule
-from .wire import ANNOUNCE_BYTES, Announce, decode_announce
+from .wire import ANNOUNCE_BYTES, decode_announce
 
 if TYPE_CHECKING:  # pragma: no cover
     pass
@@ -31,7 +32,7 @@ __all__ = ["RealChannel", "Endpoint"]
 _channel_seq = itertools.count()
 
 
-class Endpoint:
+class Endpoint(MessageEndpoint):
     """One rank's attachment to a channel."""
 
     def __init__(self, channel: "RealChannel", rank: int) -> None:

@@ -1,0 +1,53 @@
+"""The unified message-endpoint protocol.
+
+Madeleine's user interface is the packing/unpacking state machine (§2.1.1):
+
+* sender: ``begin_packing(dst)`` → message, then ``pack(...)`` zero or more
+  times, then ``end_packing()``;
+* receiver: ``begin_unpacking()`` → message, then ``unpack(...)`` mirroring
+  the sender's pack calls, then ``end_unpacking()``.
+
+Historically the two endpoint flavors exposed divergent shapes: a
+:class:`~repro.madeleine.channel.Endpoint` (one rank on one real channel)
+had ``begin_packing(dst)``, while a virtual channel was driven through
+``VirtualChannel.begin_packing(src, dst)`` — application code had to know
+which kind of channel it was holding.  :class:`MessageEndpoint` is the
+single protocol both now implement: obtain an endpoint with
+``channel.endpoint(rank)`` (real or virtual, same spelling) and the rest of
+the message lifecycle is identical.  The messages an endpoint hands out
+differ in concrete type (:class:`~repro.madeleine.message.OutgoingMessage`
+vs :class:`~repro.madeleine.gtm.GTMOutgoing`, and their incoming twins) but
+share the pack/unpack surface, so callers never branch on channel kind —
+the paper's transparency claim, stated as an interface.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..sim import Event
+
+__all__ = ["MessageEndpoint"]
+
+
+class MessageEndpoint(abc.ABC):
+    """One rank's attachment to a (real or virtual) channel.
+
+    Concrete endpoints also expose ``rank`` (the local rank) and an
+    ``incoming`` queue; this ABC pins down only the message lifecycle
+    entry points application code should use.
+    """
+
+    @abc.abstractmethod
+    def begin_packing(self, dst: int):
+        """``mad_begin_packing``: start an outgoing message to ``dst``.
+
+        Returns a message object with ``pack(data, smode, rmode)`` and
+        ``end_packing()``.
+        """
+
+    @abc.abstractmethod
+    def begin_unpacking(self) -> Event:
+        """``mad_begin_unpacking``: event yielding the next incoming
+        message, which mirrors the sender with ``unpack(...)`` and
+        ``end_unpacking()``."""

@@ -86,6 +86,19 @@ class ForwardingWorker:
         self.node = in_channel.world.nodes[gw_rank]
         self.trace = in_channel.fabric.trace
         self.accounting = in_channel.fabric.accounting
+        telemetry = in_channel.fabric.telemetry
+        self.spans = telemetry.spans
+        m = telemetry.metrics
+        self._m_forwarded = m.counter("gateway.messages_forwarded",
+                                      gw=gw_rank)
+        self._m_abandoned = m.counter("gateway.messages_abandoned",
+                                      gw=gw_rank)
+        self._m_items = m.counter("gateway.items_forwarded", gw=gw_rank)
+        #: staged items currently inside this gateway's pipeline (all
+        #: workers of one rank share the gauge); its ``hwm`` is the pipeline
+        #: occupancy the paper's double-buffer argument is about.
+        self._g_occupancy = m.gauge("gateway.occupancy", gw=gw_rank)
+        self._h_swap = m.histogram("gateway.swap_us", gw=gw_rank)
         self._free_dynamic: list[Buffer] = []
         self._seq = itertools.count()
         self._ingress_next = 0.0   # earliest instant the regulator allows
@@ -163,6 +176,10 @@ class ForwardingWorker:
 
     def _release_staging(self, buffer: Buffer,
                          pool: Optional[StaticBufferPool]) -> None:
+        # Every staged item leaves the pipeline through here (or through the
+        # static-copy hand-over in _transmit_item), so the occupancy gauge
+        # stays balanced on all abandon paths too.
+        self._g_occupancy.dec()
         if pool is not None:
             pool.release(buffer)
         else:
@@ -202,6 +219,7 @@ class ForwardingWorker:
                                     gw=self.gw_rank, msg=announce.msg_id,
                                     reason=str(exc))
                     self.messages_abandoned += 1
+                    self._m_abandoned.inc()
                     continue
                 raise
             final = hop.dst == announce.final_dst
@@ -219,6 +237,7 @@ class ForwardingWorker:
                 out_lock.release()
                 return
             ok = False
+            fwd_span = None
             try:
                 fwd = replace(announce, hops_left=announce.hops_left - 1)
                 try:
@@ -229,11 +248,16 @@ class ForwardingWorker:
                                     gw=self.gw_rank, msg=announce.msg_id,
                                     where="announce")
                     self.messages_abandoned += 1
+                    self._m_abandoned.inc()
                     continue
                 self.trace.emit(sim.now, "gateway", "message_start",
                                 gw=self.gw_rank, msg=announce.msg_id,
                                 origin=announce.origin, dst=announce.final_dst,
                                 route=f"{in_tm.protocol.name}->{out_tm.protocol.name}")
+                fwd_span = self.spans.begin(
+                    "gateway", "forward", gw=self.gw_rank,
+                    msg=announce.msg_id, dst=announce.final_dst,
+                    route=f"{in_tm.protocol.name}->{out_tm.protocol.name}")
                 # Lockstep is inherently a two-buffer scheme; other depths
                 # run through the decoupled queue (depth 1 = store-and-
                 # forward per fragment).
@@ -245,15 +269,21 @@ class ForwardingWorker:
                         in_tm, out_tm, hop.dst, hop_src, announce)
             except GatewayCrashed:
                 self._retired = True
+                if fwd_span is not None:
+                    self.spans.end(fwd_span, ok=False, crashed=True)
                 return
             finally:
                 out_lock.release()
+            if fwd_span is not None:
+                self.spans.end(fwd_span, ok=ok)
             if ok:
                 self.messages_forwarded += 1
+                self._m_forwarded.inc()
                 self.trace.emit(sim.now, "gateway", "message_end",
                                 gw=self.gw_rank, msg=announce.msg_id)
             else:
                 self.messages_abandoned += 1
+                self._m_abandoned.inc()
                 self.trace.emit(sim.now, "gateway", "message_abandoned",
                                 gw=self.gw_rank, msg=announce.msg_id,
                                 where="pipeline")
@@ -272,6 +302,7 @@ class ForwardingWorker:
         """
         staging, pool = yield from self._acquire_staging(
             in_tm, out_tm, announce.mtu)
+        self._g_occupancy.inc()
         # §4 future work: regulate the incoming flow — delay the next posted
         # receive so the accepted ingress rate stays under the limit.
         limit = self.params.ingress_limit
@@ -366,6 +397,7 @@ class ForwardingWorker:
                     self._release_staging(b, p) if ev.ok else None)
                 raise
             self._release_staging(item.staging, item.pool)
+        self._m_items.inc()
         self.trace.emit(sim.now, "gateway", "send",
                         gw=self.gw_rank, msg=announce.msg_id, seq=item.seq,
                         nbytes=item.nbytes, start=t0, kind=item.meta.get("type"))
@@ -421,6 +453,7 @@ class ForwardingWorker:
                 break
             yield sim.timeout(self.params.switch_overhead,
                               name=f"gw{self.gw_rank}.swap")
+            self._h_swap.observe(self.params.switch_overhead)
             self.trace.emit(sim.now, "gateway", "swap",
                             gw=self.gw_rank, msg=announce.msg_id, seq=item.seq)
             yield handoff.put(item)
@@ -479,6 +512,7 @@ class ForwardingWorker:
                 break
             yield sim.timeout(self.params.switch_overhead,
                               name=f"gw{self.gw_rank}.swap")
+            self._h_swap.observe(self.params.switch_overhead)
             self.trace.emit(sim.now, "gateway", "swap",
                             gw=self.gw_rank, msg=announce.msg_id, seq=item.seq)
             yield handoff.put(item)

@@ -163,11 +163,14 @@ class RetryPolicy:
 
 
 class _SendState:
-    __slots__ = ("acked", "nfrags")
+    __slots__ = ("acked", "nfrags", "attempt_t0")
 
     def __init__(self, nfrags: int) -> None:
         self.acked = 0
         self.nfrags = nfrags
+        #: when the attempt currently on the wire was emitted — the ACK that
+        #: advances the window dates its latency from here.
+        self.attempt_t0 = 0.0
 
 
 class _RecvState:
@@ -209,6 +212,17 @@ class ReliableEndpoint:
         self.sim = vep.vchannel.sim
         self.trace = vep.vchannel.world.fabric.trace
         self.policy = policy or RetryPolicy()
+        # Pre-registered instruments: they appear (at zero) in snapshots
+        # even before the first fault, so dashboards have a stable schema.
+        m = vep.vchannel.world.telemetry.metrics
+        lbl = dict(vchannel=vep.vchannel.name, rank=self.rank)
+        self._m_bytes = m.counter("reliable.bytes_sent", **lbl)
+        self._m_frags = m.counter("reliable.fragments_sent", **lbl)
+        self._m_attempts = m.counter("reliable.attempts", **lbl)
+        self._m_retransmits = m.counter("reliable.retransmits", **lbl)
+        self._m_delivered = m.counter("reliable.deliveries", **lbl)
+        self._m_acks = m.counter("reliable.acks_received", **lbl)
+        self._h_ack_latency = m.histogram("reliable.ack_latency_us", **lbl)
         #: completed transfers, as ``(src, payload: bytes, transfer_id)``.
         self.deliveries: Queue = Queue(self.sim,
                                        name=f"rel@{self.rank}.deliveries")
@@ -246,8 +260,10 @@ class ReliableEndpoint:
         stalls = 0          # consecutive attempts with zero ack progress
         while stalls < policy.max_attempts:
             attempt += 1
+            self._m_attempts.inc()
             if attempt > 1:
                 self.retransmits += 1
+                self._m_retransmits.inc()
             try:
                 msg = self.vep.begin_packing(dst)
             except NoRouteError as exc:
@@ -277,7 +293,10 @@ class ReliableEndpoint:
                     frag + struct.pack(_CRC_FMT,
                                        _frag_crc(frag, transfer, seq)),
                     SendMode.CHEAPER, RecvMode.EXPRESS))
+                self._m_frags.inc()
+                self._m_bytes.inc(len(frag))
             _disown(msg.end_packing())
+            st.attempt_t0 = self.sim.now
             self.trace.emit(self.sim.now, "reliable", "attempt",
                             src=self.rank, dst=dst, transfer=transfer,
                             attempt=attempt, start=start, nfrags=nfrags)
@@ -404,6 +423,11 @@ class ReliableEndpoint:
         if kind == _KIND_ACK:
             st = self._sends.get(transfer)
             if st is not None:
+                self._m_acks.inc()
+                if start > st.acked:
+                    # This ACK advanced the window: its latency is the time
+                    # since the attempt it acknowledges was emitted.
+                    self._h_ack_latency.observe(self.sim.now - st.attempt_t0)
                 st.acked = max(st.acked, start)
                 waiter = self._ack_waiters.pop(transfer, None)
                 if waiter is not None and not waiter.triggered:
@@ -476,6 +500,7 @@ class ReliableEndpoint:
                             attempt=attempt, acked=st.acked)
         if st.acked >= st.nfrags and not st.done:
             st.done = True
+            self._m_delivered.inc()
             yield self.deliveries.put((st.src, bytes(st.data), transfer))
         yield from self._send_ack(st.src, transfer, st.acked)
 

@@ -1,36 +1,52 @@
 """Session management: the top-level user entry point.
 
 A :class:`Session` owns a :class:`~repro.hw.topology.World` and the channels
-created over it, and runs application processes.  Typical use::
+created over it, runs application processes, and is the switch for the
+observability layer (:mod:`repro.telemetry`).  Typical use::
 
     from repro.hw import build_world
     from repro.madeleine import Session
 
     world = build_world({"m0": ["myrinet"], "gw": ["myrinet", "sci"],
                          "s0": ["sci"]})
-    session = Session(world)
-    myri = session.channel("myrinet", ["m0", "gw"])
-    sci = session.channel("sci", ["gw", "s0"])
-    vch = session.virtual_channel([myri, sci], packet_size=64 << 10)
+    with Session(world, packet_size=64 << 10, telemetry=True) as session:
+        myri = session.channel("myrinet", ["m0", "gw"])
+        sci = session.channel("sci", ["gw", "s0"])
+        vch = session.virtual_channel([myri, sci])
 
-    def app_sender():
-        msg = vch.endpoint(session.rank("m0")).begin_packing(session.rank("s0"))
-        yield msg.pack(payload)
-        yield msg.end_packing()
+        def app_sender():
+            msg = vch.endpoint(session.rank("m0")).begin_packing(
+                session.rank("s0"))
+            yield msg.pack(payload)
+            yield msg.end_packing()
 
-    session.spawn(app_sender())
-    session.run()
+        session.spawn(app_sender())
+        session.run()
+        print(session.metrics.total("gateway.messages_forwarded"))
+
+Configuration is keyword-only: ``packet_size=`` sets the default virtual
+channel packet size, ``telemetry=True/False`` enables/disables the world's
+telemetry (``None`` leaves it as it is — off for a fresh world), and
+``fault_plan=`` arms a :class:`~repro.faults.FaultPlan` before any channel
+exists.  A closed session (after the ``with`` block, or ``close()``)
+refuses to build channels or spawn processes; its telemetry stays readable
+so results can be collected after the fact.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Generator, Optional, Sequence, Union
 
 from ..hw.params import GatewayParams
 from ..hw.topology import World
 from ..sim import Event, Process
+from ..sim.trace import TraceRecorder
+from ..telemetry import MetricsRegistry, SpanTracker, Telemetry
 from .channel import RealChannel
 from .vchannel import DEFAULT_PACKET_SIZE, VirtualChannel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.plan import FaultPlan
 
 __all__ = ["Session"]
 
@@ -38,11 +54,66 @@ __all__ = ["Session"]
 class Session:
     """Channels, virtual channels, and application processes over a world."""
 
-    def __init__(self, world: World) -> None:
+    def __init__(self, world: World, *,
+                 packet_size: Optional[int] = None,
+                 telemetry: Optional[bool] = None,
+                 fault_plan: Optional["FaultPlan"] = None) -> None:
         self.world = world
         self.sim = world.sim
         self.channels: list[RealChannel] = []
         self.virtual_channels: list[VirtualChannel] = []
+        self.default_packet_size = (DEFAULT_PACKET_SIZE if packet_size is None
+                                    else packet_size)
+        self._closed = False
+        if telemetry is True:
+            world.telemetry.enable()
+        elif telemetry is False:
+            world.telemetry.disable()
+        elif telemetry is not None:
+            raise TypeError("telemetry= takes True, False, or None")
+        if fault_plan is not None:
+            fault_plan.arm(world)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """End the session: no further channels or processes.
+
+        Telemetry and the trace remain readable — closing is about
+        construction, not about the collected results.
+        """
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    # -- observability -----------------------------------------------------------
+    @property
+    def telemetry(self) -> Telemetry:
+        return self.world.telemetry
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The world's metrics registry (empty snapshot while disabled)."""
+        return self.world.telemetry.metrics
+
+    @property
+    def spans(self) -> SpanTracker:
+        return self.world.telemetry.spans
+
+    @property
+    def trace(self) -> TraceRecorder:
+        return self.world.trace
 
     # -- naming ------------------------------------------------------------------
     def rank(self, node_name: str) -> int:
@@ -58,20 +129,26 @@ class Session:
                 adapter_index: int = 0) -> RealChannel:
         """Create a regular channel over ``protocol`` joining ``members``
         (ranks or node names)."""
+        self._check_open()
         ch = RealChannel(self.world, protocol, self.ranks(members),
                          name=name, adapter_index=adapter_index)
         self.channels.append(ch)
         return ch
 
     def virtual_channel(self, channels: Sequence[RealChannel],
-                        packet_size: int = DEFAULT_PACKET_SIZE,
+                        packet_size: Optional[int] = None,
                         gateway_params: Optional[GatewayParams] = None,
                         name: str = "",
                         multirail: bool = False) -> VirtualChannel:
         """Bundle real channels into a virtual channel with transparent
         forwarding on every gateway node (``multirail`` spreads messages
-        over parallel equal-length routes, relaxing inter-message order)."""
-        vch = VirtualChannel(channels, packet_size=packet_size,
+        over parallel equal-length routes, relaxing inter-message order).
+        ``packet_size=None`` uses the session default."""
+        self._check_open()
+        vch = VirtualChannel(channels,
+                             packet_size=(self.default_packet_size
+                                          if packet_size is None
+                                          else packet_size),
                              gateway_params=gateway_params, name=name,
                              multirail=multirail)
         self.virtual_channels.append(vch)
@@ -80,6 +157,7 @@ class Session:
     # -- execution ------------------------------------------------------------------
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Run an application process (a generator yielding sim events)."""
+        self._check_open()
         return self.sim.process(gen, name=name or "app")
 
     def run(self, until: Optional[Union[float, Event]] = None):

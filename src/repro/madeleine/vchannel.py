@@ -16,12 +16,14 @@ The application never sees the difference — the paper's transparency claim.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from ..hw.params import GatewayParams
 from ..routing import RouteTable, gateway_ranks, negotiate_mtu
 from ..sim import Event, Queue
 from .channel import RealChannel
+from .endpoint import MessageEndpoint
 from .gateway import ForwardingWorker
 from .gtm import GTMIncoming, GTMOutgoing
 from .message import IncomingMessage, OutgoingMessage
@@ -35,7 +37,7 @@ __all__ = ["VirtualChannel", "VChannelEndpoint"]
 DEFAULT_PACKET_SIZE = 16 << 10
 
 
-class VChannelEndpoint:
+class VChannelEndpoint(MessageEndpoint):
     """One rank's view of a virtual channel: a unified incoming stream over
     every member regular channel the rank belongs to."""
 
@@ -57,7 +59,7 @@ class VChannelEndpoint:
 
     # -- user interface ---------------------------------------------------------
     def begin_packing(self, dst: int) -> Union[OutgoingMessage, GTMOutgoing]:
-        return self.vchannel.begin_packing(self.rank, dst)
+        return self.vchannel._begin_packing(self.rank, dst)
 
     def begin_unpacking(self) -> Event:
         """Event yielding the next incoming message — an
@@ -100,7 +102,11 @@ class VirtualChannel:
         self.packet_size = packet_size
         self.gateway_params = gateway_params or GatewayParams()
         self.name = name or f"vch({','.join(ch.id for ch in channels)})"
-        self.routes = RouteTable(self.channels)
+        self.routes = RouteTable(self.channels,
+                                 telemetry=self.world.telemetry)
+        #: reroute-forcing health losses seen by this virtual channel.
+        self._m_failovers = self.world.telemetry.metrics.counter(
+            "vchannel.failovers", vchannel=self.name)
         # Special (forwarding) twin per member channel, §2.2.2 / Figure 3.
         self._specials: dict[str, RealChannel] = {
             ch.id: RealChannel(self.world, ch.protocol.name, ch.members,
@@ -145,10 +151,12 @@ class VirtualChannel:
     def _on_fault(self, kind: str, subject) -> None:
         if kind == "link_down":
             self.routes.mark_down(subject)
+            self._m_failovers.inc()
         elif kind == "link_up":
             self.routes.mark_up(subject)
         elif kind == "node_down":
             self.routes.mark_node_down(subject)
+            self._m_failovers.inc()
             for w in self.workers:
                 if w.gw_rank == subject:
                     w.retire()
@@ -196,6 +204,21 @@ class VirtualChannel:
     # -- sending ------------------------------------------------------------------
     def begin_packing(self, src: int,
                       dst: int) -> Union[OutgoingMessage, GTMOutgoing]:
+        """Deprecated spelling of ``endpoint(src).begin_packing(dst)``.
+
+        The two-argument form predates the unified
+        :class:`~repro.madeleine.endpoint.MessageEndpoint` protocol; go
+        through the endpoint so application code stays channel-kind
+        agnostic.
+        """
+        warnings.warn(
+            "VirtualChannel.begin_packing(src, dst) is deprecated; use "
+            "vchannel.endpoint(src).begin_packing(dst)",
+            DeprecationWarning, stacklevel=2)
+        return self._begin_packing(src, dst)
+
+    def _begin_packing(self, src: int,
+                       dst: int) -> Union[OutgoingMessage, GTMOutgoing]:
         """Start a message; the real channel (and whether the GTM is needed)
         is chosen from the route, §2.2.1."""
         route = self.routes.route(src, dst)

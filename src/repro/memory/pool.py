@@ -10,12 +10,15 @@ descriptor ring applies.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import TYPE_CHECKING, Deque, Optional
 
 import numpy as np
 
 from ..sim import Event, Simulator
 from .buffer import Buffer, STATIC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..telemetry import Telemetry
 
 __all__ = ["StaticBufferPool", "PoolExhausted"]
 
@@ -28,7 +31,8 @@ class StaticBufferPool:
     """Fixed number of fixed-size STATIC buffers with FIFO blocking acquire."""
 
     def __init__(self, sim: Simulator, count: int, block_size: int,
-                 name: str = "pool") -> None:
+                 name: str = "pool",
+                 telemetry: Optional["Telemetry"] = None) -> None:
         if count < 1:
             raise ValueError("pool needs at least one block")
         if block_size < 1:
@@ -37,6 +41,15 @@ class StaticBufferPool:
         self.name = name
         self.block_size = block_size
         self.count = count
+        if telemetry is None:
+            from ..telemetry import NULL_TELEMETRY
+            telemetry = NULL_TELEMETRY
+        #: blocks checked out right now; its high-water mark is the
+        #: staging-memory footprint question pool sizing asks.
+        self._g_in_use = telemetry.metrics.gauge("pool.in_use", pool=name)
+        #: acquires that had to block on an exhausted pool (backpressure).
+        self._m_waits = telemetry.metrics.counter("pool.acquire_waits",
+                                                  pool=name)
         self._free: Deque[Buffer] = deque(
             Buffer(np.zeros(block_size, dtype=np.uint8), kind=STATIC,
                    owner=self, label=f"{name}[{i}]")
@@ -57,8 +70,10 @@ class StaticBufferPool:
             buf = self._free.popleft()
             buf._released = False
             self._outstanding.add(buf)
+            self._g_in_use.set(len(self._outstanding))
             ev.succeed(buf)
         else:
+            self._m_waits.inc()
             self._waiters.append(ev)
         return ev
 
@@ -69,6 +84,7 @@ class StaticBufferPool:
         buf = self._free.popleft()
         buf._released = False
         self._outstanding.add(buf)
+        self._g_in_use.set(len(self._outstanding))
         return buf
 
     def release(self, buf: Buffer) -> None:
@@ -89,6 +105,7 @@ class StaticBufferPool:
             self._waiters.popleft().succeed(buf)
         else:
             self._free.append(buf)
+        self._g_in_use.set(len(self._outstanding))
 
     def cancel_acquire(self, ev: Event) -> bool:
         """Withdraw a still-pending acquire.
@@ -127,6 +144,7 @@ class StaticBufferPool:
         retired = len(self._outstanding)
         self._retired |= self._outstanding
         self._outstanding.clear()
+        self._g_in_use.set(0)
         for i in range(retired):
             self._free.append(
                 Buffer(np.zeros(self.block_size, dtype=np.uint8),

@@ -18,12 +18,13 @@ returned; when no surviving path exists the table raises
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import networkx as nx
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..madeleine.channel import RealChannel
+    from ..telemetry import Telemetry
 
 from .graph import build_graph
 
@@ -57,13 +58,22 @@ def _channel_id(channel: Union["RealChannel", str]) -> str:
 class RouteTable:
     """All-pairs minimum-hop routes over a set of real channels."""
 
-    def __init__(self, channels: Sequence["RealChannel"]) -> None:
+    def __init__(self, channels: Sequence["RealChannel"],
+                 telemetry: Optional["Telemetry"] = None) -> None:
         self.channels = list(channels)
         self.graph = build_graph(self.channels)
         self._cache: dict[tuple[int, int], list[Hop]] = {}
         self._down_channels: set[str] = set()
         self._down_nodes: set[int] = set()
         self._active: nx.MultiGraph | None = None
+        if telemetry is None:
+            from ..telemetry import NULL_TELEMETRY
+            telemetry = NULL_TELEMETRY
+        m = telemetry.metrics
+        self._m_recomputes = m.counter("routing.recomputes")
+        self._m_invalidations = m.counter("routing.invalidations")
+        self._m_down = m.counter("routing.down_transitions")
+        self._m_up = m.counter("routing.up_transitions")
 
     def members(self) -> list[int]:
         return sorted(self.graph.nodes)
@@ -77,23 +87,28 @@ class RouteTable:
         """
         self._cache.clear()
         self._active = None
+        self._m_invalidations.inc()
 
     def mark_down(self, channel: Union["RealChannel", str]) -> None:
         """Record that ``channel`` (or its forwarding twin) is unusable."""
         self._down_channels.add(_channel_id(channel))
+        self._m_down.inc()
         self.invalidate()
 
     def mark_up(self, channel: Union["RealChannel", str]) -> None:
         self._down_channels.discard(_channel_id(channel))
+        self._m_up.inc()
         self.invalidate()
 
     def mark_node_down(self, rank: int) -> None:
         """Record that a rank (typically a crashed gateway) is unusable."""
         self._down_nodes.add(rank)
+        self._m_down.inc()
         self.invalidate()
 
     def mark_node_up(self, rank: int) -> None:
         self._down_nodes.discard(rank)
+        self._m_up.inc()
         self.invalidate()
 
     @property
@@ -173,6 +188,7 @@ class RouteTable:
         return NoRouteError(f"no route from {src} to {dst}{detail}")
 
     def _compute(self, src: int, dst: int) -> list[Hop]:
+        self._m_recomputes.inc()
         g = self.active_graph
         for rank in (src, dst):
             if rank not in g:

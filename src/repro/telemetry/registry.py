@@ -1,0 +1,315 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+The registry is the numeric half of the observability layer (spans are the
+other half, :mod:`repro.telemetry.spans`).  Components create *instruments*
+once — ``registry.counter("reliable.retransmits", rank=3)`` — and hit them
+on their hot paths; an instrument is identified by its name plus its label
+set, so two endpoints incrementing the same metric name produce two series.
+
+Disabled registries are (almost) free: every instrument checks a single
+``enabled`` flag before touching state, no simulation events are ever
+created, and :meth:`MetricsRegistry.snapshot` returns an empty mapping.
+Because instruments are live handles onto the registry, a registry can be
+enabled *after* the instruments were created (the
+:class:`~repro.madeleine.session.Session` does exactly that: the world's
+NICs and pools are built before the session turns telemetry on).
+
+Histograms support **simulated-time windows**: constructed with
+``window=<µs>``, a histogram additionally keeps per-window statistics that
+reset every time the registry clock crosses a window boundary — the rolling
+view a long soak run wants next to the lifetime aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "NullRegistry", "format_metrics"]
+
+#: default histogram bucket upper bounds (µs-flavoured, powers of 10/2).
+DEFAULT_BOUNDS = (10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0)
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
+    return tuple(sorted(labels.items()))
+
+
+class Instrument:
+    """Base of all instruments: a name, a label set, and the owning registry."""
+
+    kind = "?"
+
+    __slots__ = ("registry", "name", "labels")
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 labels: dict[str, Any]) -> None:
+        self.registry = registry
+        self.name = name
+        self.labels = labels
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def data(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name} {self.labels}>"
+
+
+class Counter(Instrument):
+    """Monotonically increasing count (events, bytes, retries)."""
+
+    kind = "counter"
+
+    __slots__ = ("value",)
+
+    def __init__(self, registry, name, labels) -> None:
+        super().__init__(registry, name, labels)
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if self.registry.enabled:
+            if n < 0:
+                raise ValueError("counters only go up")
+            self.value += n
+
+    def data(self) -> dict[str, Any]:
+        return {"value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge(Instrument):
+    """Point-in-time level (queue depth, blocks in use) with a high-water
+    mark — the ``hwm`` is what pool-sizing questions actually need."""
+
+    kind = "gauge"
+
+    __slots__ = ("value", "hwm")
+
+    def __init__(self, registry, name, labels) -> None:
+        super().__init__(registry, name, labels)
+        self.value = 0
+        self.hwm = 0
+
+    def set(self, value) -> None:
+        if self.registry.enabled:
+            self.value = value
+            if value > self.hwm:
+                self.hwm = value
+
+    def inc(self, n=1) -> None:
+        self.set(self.value + n)
+
+    def dec(self, n=1) -> None:
+        if self.registry.enabled:
+            self.value -= n
+
+    def data(self) -> dict[str, Any]:
+        return {"value": self.value, "hwm": self.hwm}
+
+    def reset(self) -> None:
+        self.value = 0
+        self.hwm = 0
+
+
+class Histogram(Instrument):
+    """Distribution of observed values, with optional simulated-time windows.
+
+    Lifetime aggregates (count/sum/min/max + cumulative buckets) always
+    accumulate; with ``window`` set, a rolling ``(window_start, count, sum)``
+    triple resets whenever the registry clock enters a new window.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max",
+                 "window", "window_start", "window_count", "window_total")
+
+    def __init__(self, registry, name, labels,
+                 bounds: tuple[float, ...] = DEFAULT_BOUNDS,
+                 window: Optional[float] = None) -> None:
+        super().__init__(registry, name, labels)
+        if window is not None and window <= 0:
+            raise ValueError("window must be > 0")
+        self.bounds = tuple(sorted(bounds))
+        self.window = window
+        self.reset()
+
+    def observe(self, value: float) -> None:
+        if not self.registry.enabled:
+            return
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                break
+        else:
+            self.buckets[-1] += 1
+        if self.window is not None:
+            now = self.registry.clock()
+            start = (now // self.window) * self.window
+            if start != self.window_start:
+                self.window_start = start
+                self.window_count = 0
+                self.window_total = 0.0
+            self.window_count += 1
+            self.window_total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def data(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "count": self.count, "sum": self.total, "mean": self.mean,
+            "min": self.min, "max": self.max,
+            "buckets": {f"le_{b:g}": n
+                        for b, n in zip((*self.bounds[:-1], float("inf")),
+                                        self.buckets)},
+        }
+        if self.window is not None:
+            out["window"] = {"start": self.window_start,
+                             "count": self.window_count,
+                             "sum": self.window_total}
+        return out
+
+    def reset(self) -> None:
+        self.buckets = [0] * len(self.bounds)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self.window_start = None
+        self.window_count = 0
+        self.window_total = 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store keyed by ``(name, labels)``.
+
+    ``clock`` supplies the registry's notion of *now* (simulated µs for a
+    world-attached registry); histogram windows and snapshots use it.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 enabled: bool = True) -> None:
+        self.clock = clock or (lambda: 0.0)
+        self.enabled = enabled
+        self._instruments: dict[tuple[str, tuple], Instrument] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every instrument (the instrument handles stay valid)."""
+        for inst in self._instruments.values():
+            inst.reset()
+
+    # -- instrument factories ------------------------------------------------------
+    def _get(self, cls, name: str, labels: dict[str, Any], **kwargs):
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(self, name, labels, **kwargs)
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {inst.kind}")
+        return inst
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, bounds: tuple[float, ...] = DEFAULT_BOUNDS,
+                  window: Optional[float] = None,
+                  **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels, bounds=bounds,
+                         window=window)
+
+    # -- queries ---------------------------------------------------------------
+    def value(self, name: str, **labels: Any) -> Any:
+        """Current value of one series (0 if it does not exist)."""
+        inst = self._instruments.get((name, _label_key(labels)))
+        if inst is None:
+            return 0
+        return inst.value if hasattr(inst, "value") else inst.count
+
+    def total(self, name: str):
+        """Sum of a counter/gauge metric across all of its label sets."""
+        return sum(inst.value for (n, _k), inst in self._instruments.items()
+                   if n == name and hasattr(inst, "value"))
+
+    def series(self, name: str) -> list[Instrument]:
+        return [inst for (n, _k), inst in self._instruments.items()
+                if n == name]
+
+    def snapshot(self) -> dict[str, Any]:
+        """All metrics as one JSON-serializable mapping.
+
+        ``{name: {"kind": ..., "series": [{"labels": {...}, ...data}]}}``,
+        deterministically ordered.  Empty while the registry is disabled —
+        a no-op registry emits nothing.
+        """
+        if not self.enabled:
+            return {}
+        out: dict[str, Any] = {}
+        for (name, _key), inst in sorted(self._instruments.items(),
+                                         key=lambda kv: kv[0]):
+            entry = out.setdefault(name, {"kind": inst.kind, "series": []})
+            entry["series"].append({"labels": dict(inst.labels),
+                                    **inst.data()})
+        return out
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry that can never record: for standalone components that want
+    an always-valid ``metrics`` attribute with zero bookkeeping."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def enable(self) -> None:
+        raise RuntimeError("a NullRegistry cannot be enabled")
+
+
+def format_metrics(snapshot: dict[str, Any]) -> str:
+    """Human-readable table of a :meth:`MetricsRegistry.snapshot`."""
+    if not snapshot:
+        return "(no metrics recorded)"
+    lines = [f"{'metric':40s}{'labels':34s}{'value':>14s}"]
+    lines.append("-" * len(lines[0]))
+    for name, entry in snapshot.items():
+        for series in entry["series"]:
+            labels = ",".join(f"{k}={v}" for k, v in
+                              sorted(series["labels"].items()))
+            if entry["kind"] == "histogram":
+                value = (f"n={series['count']} mean={series['mean']:.1f} "
+                         f"max={series['max'] if series['max'] is not None else 0:.1f}")
+                lines.append(f"{name:40s}{labels:34s}{value:>14s}")
+            elif entry["kind"] == "gauge":
+                value = f"{series['value']} (hwm {series['hwm']})"
+                lines.append(f"{name:40s}{labels:34s}{value:>14s}")
+            else:
+                lines.append(f"{name:40s}{labels:34s}{series['value']:>14}")
+    return "\n".join(lines)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis import fragment_time, predict_forwarding
-from repro.bench import PingHarness, figure_sweep
+from repro.bench import PingHarness
 from repro.hw import GatewayParams, MYRINET, SBP, SCI
 
 

@@ -1,6 +1,5 @@
 """Figure-sweep harness tests (small grids to stay fast)."""
 
-import pytest
 
 from repro.bench import (PAPER_MESSAGE_SIZES, PAPER_PACKET_SIZES, Series,
                          figure_sweep)

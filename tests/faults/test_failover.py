@@ -2,7 +2,6 @@
 gateway by retrying onto the surviving minimum-hop rail, resuming from
 the last acknowledged fragment; a true partition ends in NoRouteError."""
 
-import pytest
 
 from repro.faults import ChannelFaults, FaultPlan, LinkEvent, NodeEvent
 from repro.madeleine import RetryPolicy

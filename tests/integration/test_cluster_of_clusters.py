@@ -1,7 +1,6 @@
 """Integration tests: whole cluster-of-clusters configurations."""
 
 import numpy as np
-import pytest
 
 from repro.hw import (ClusterSpec, GatewayLink, build_cluster_of_clusters,
                       build_world)

@@ -3,9 +3,7 @@ sensible results."""
 
 import pathlib
 import runpy
-import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
 

@@ -2,7 +2,6 @@
 connection queue up behind the connection lock (as a second Madeleine
 thread would block), and never interleave on the wire."""
 
-import pytest
 
 from repro.hw import build_world
 from repro.madeleine import Session

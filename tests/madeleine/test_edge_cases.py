@@ -141,7 +141,7 @@ def test_packet_size_below_1kb_rejected():
         s.channel("sci", ["gw", "s0"]),
     ], packet_size=512)
     with pytest.raises(ValueError):
-        vch.begin_packing(0, 2)
+        vch.endpoint(0).begin_packing(2)
 
 
 def test_unpack_argument_validation():

@@ -1,6 +1,5 @@
 """Gateway forwarding: the zero-copy matrix of §2.3, pipeline behaviour."""
 
-import pytest
 
 from repro.hw import GatewayParams, build_world
 from repro.madeleine import Session

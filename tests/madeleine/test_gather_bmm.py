@@ -1,6 +1,5 @@
 """Scatter/gather aggregation BMM (§2.1.1)."""
 
-import pytest
 
 from repro.hw import build_world, register_protocol, scaled, MYRINET, PROTOCOLS
 from repro.madeleine import (RECV_CHEAPER, RECV_EXPRESS, SEND_CHEAPER,

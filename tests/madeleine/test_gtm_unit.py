@@ -3,8 +3,7 @@
 import pytest
 
 from repro.hw import build_world
-from repro.madeleine import (GatewayError, GTMOutgoing, RecvMode, SendMode,
-                             Session)
+from repro.madeleine import GTMOutgoing, RecvMode, SendMode, Session
 from repro.madeleine.bmm import split_fragments
 from tests.conftest import payload, transfer_once
 
@@ -181,5 +180,5 @@ def test_non_gtm_announce_on_special_channel_is_error():
 
 def test_gtm_mtu_encoded_in_announce():
     _w, _s, vch = paper_vch(packet_size=32 << 10)
-    msg = vch.begin_packing(0, 2)
+    msg = vch.endpoint(0).begin_packing(2)
     assert msg.mtu == 32 << 10

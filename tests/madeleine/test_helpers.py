@@ -1,6 +1,5 @@
 """Whole-message convenience helpers."""
 
-import numpy as np
 
 from repro.hw import build_world
 from repro.madeleine import (Session, recv_arrays, recv_message_into,

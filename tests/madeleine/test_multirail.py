@@ -1,11 +1,9 @@
 """Multi-rail routing over parallel gateways (high-level routing built on
 the forwarding mechanism, as §1/§4 envisage)."""
 
-import pytest
 
 from repro.hw import build_world
 from repro.madeleine import Session
-from repro.routing import RouteTable
 from tests.conftest import payload
 
 

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.hw import build_world
-from repro.madeleine import (GTMIncoming, GTMOutgoing, IncomingMessage,
-                             OutgoingMessage, Session, VirtualChannel)
+from repro.madeleine import (GTMOutgoing, OutgoingMessage, Session,
+                             VirtualChannel)
 from tests.conftest import payload, transfer_once
 
 
@@ -34,13 +34,13 @@ def test_special_twins_created():
 
 def test_direct_send_uses_regular_message():
     _w, _s, _m, _sc, vch = paper_vch()
-    msg = vch.begin_packing(0, 1)
+    msg = vch.endpoint(0).begin_packing(1)
     assert isinstance(msg, OutgoingMessage)
 
 
 def test_forwarded_send_uses_gtm():
     _w, _s, _m, _sc, vch = paper_vch()
-    msg = vch.begin_packing(0, 2)
+    msg = vch.endpoint(0).begin_packing(2)
     assert isinstance(msg, GTMOutgoing)
     assert msg.mtu == 16 << 10
 
@@ -211,5 +211,5 @@ def test_gtm_descriptor_mismatch_detected():
 def test_gtm_message_to_gateway_itself_is_direct():
     """gw is one hop from everyone: messages TO the gateway never use GTM."""
     _w, _s, _m, _sc, vch = paper_vch()
-    assert isinstance(vch.begin_packing(2, 1), OutgoingMessage)
-    assert isinstance(vch.begin_packing(0, 1), OutgoingMessage)
+    assert isinstance(vch.endpoint(2).begin_packing(1), OutgoingMessage)
+    assert isinstance(vch.endpoint(0).begin_packing(1), OutgoingMessage)

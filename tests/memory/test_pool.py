@@ -3,7 +3,6 @@
 import pytest
 
 from repro.memory import Buffer, PoolExhausted, StaticBufferPool, STATIC
-from repro.sim import Simulator
 
 
 def test_pool_basic_acquire_release(sim):

@@ -1,7 +1,6 @@
 """Collectives over the cluster-of-clusters topology."""
 
 import numpy as np
-import pytest
 
 from repro.hw import ClusterSpec, GatewayLink, build_cluster_of_clusters
 from repro.madeleine import Session

@@ -4,8 +4,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hw import build_world
-from repro.madeleine import RealChannel, Session
-from repro.routing import (Hop, NoRouteError, RouteTable, build_graph,
+from repro.madeleine import Session
+from repro.routing import (NoRouteError, RouteTable, build_graph,
                            gateway_ranks, negotiate_mtu)
 
 

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.sim import (AllOf, AnyOf, DeadlockError, Event, ProcessCrashed,
-                       SchedulingError, Simulator)
+from repro.sim import (AllOf, AnyOf, DeadlockError, ProcessCrashed,
+                       SchedulingError)
 
 
 def test_clock_starts_at_zero(sim):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Barrier, Mutex, Queue, Semaphore, Signal, Simulator
+from repro.sim import Barrier, Mutex, Queue, Semaphore, Signal
 
 
 # -- Semaphore ----------------------------------------------------------------

@@ -1,0 +1,72 @@
+"""Disabled telemetry is a no-op: nothing recorded, nothing emitted."""
+
+import pytest
+
+from repro.hw import build_world
+from repro.sim.trace import TraceRecorder
+from repro.telemetry import (NULL_TELEMETRY, MetricsRegistry, NullRegistry,
+                             SpanTracker, Telemetry)
+
+
+def test_disabled_registry_records_nothing():
+    registry = MetricsRegistry(enabled=False)
+    c = registry.counter("n")
+    g = registry.gauge("d")
+    h = registry.histogram("lat")
+    c.inc(5)
+    g.set(9)
+    h.observe(1.0)
+    assert (c.value, g.value, g.hwm, h.count) == (0, 0, 0, 0)
+    assert registry.snapshot() == {}
+
+
+def test_disabled_tracker_hands_out_null_spans():
+    trace = TraceRecorder()
+    tracker = SpanTracker(trace=trace, enabled=False)
+    sp = tracker.begin("a", "b")
+    sp.finish(ok=True)
+    tracker.end(sp)          # ending the null span twice is still a no-op
+    with tracker.span("a", "c"):
+        pass
+    assert len(tracker) == 0
+    assert len(trace) == 0   # nothing mirrored into the trace stream
+
+
+def test_late_enable_records_through_existing_handles():
+    registry = MetricsRegistry(enabled=False)
+    c = registry.counter("n")      # created while disabled, like a NIC's
+    c.inc()                        # ignored
+    registry.enable()
+    c.inc(2)
+    assert registry.value("n") == 2
+
+
+def test_null_registry_cannot_be_enabled():
+    with pytest.raises(RuntimeError):
+        NullRegistry().enable()
+
+
+def test_null_telemetry_cannot_be_enabled():
+    with pytest.raises(RuntimeError):
+        NULL_TELEMETRY.enable()
+    assert not NULL_TELEMETRY.enabled
+
+
+def test_telemetry_facade_toggles_both_halves():
+    t = Telemetry(enabled=False)
+    assert not t.enabled
+    t.enable()
+    assert t.metrics.enabled and t.spans.enabled
+    t.disable()
+    assert not t.metrics.enabled and not t.spans.enabled
+
+
+def test_world_telemetry_off_by_default_and_silent():
+    """An undisturbed world records no metrics — the zero-overhead default."""
+    world = build_world({"a": ["myrinet"], "b": ["myrinet"]})
+    assert not world.telemetry.enabled
+    assert world.telemetry.metrics.snapshot() == {}
+    # instruments exist (live handles), but none has recorded anything
+    assert len(world.telemetry.metrics) > 0
+    assert all(i.value == 0 for i in
+               world.telemetry.metrics.series("wire.fragments"))

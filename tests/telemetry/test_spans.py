@@ -1,0 +1,106 @@
+"""SpanTracker: begin/end, nesting, and trace mirroring."""
+
+import pytest
+
+from repro.sim.trace import TraceRecorder
+from repro.telemetry import SpanTracker
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracker(clock):
+    return SpanTracker(clock=clock)
+
+
+def test_begin_end_records_interval(tracker, clock):
+    sp = tracker.begin("gateway", "forward", gw=1)
+    clock.now = 250.0
+    tracker.end(sp, ok=True)
+    assert not sp.open
+    assert sp.duration == 250.0
+    assert sp.attrs == {"gw": 1, "ok": True}
+    assert tracker.completed == [sp]
+
+
+def test_finish_is_end(tracker, clock):
+    sp = tracker.begin("x", "y")
+    clock.now = 10.0
+    assert sp.finish(n=3) is sp
+    assert sp.stop == 10.0 and sp.attrs["n"] == 3
+
+
+def test_double_end_raises(tracker):
+    sp = tracker.begin("x", "y")
+    tracker.end(sp)
+    with pytest.raises(ValueError):
+        tracker.end(sp)
+
+
+def test_duration_of_open_span_raises(tracker):
+    sp = tracker.begin("x", "y")
+    with pytest.raises(ValueError):
+        _ = sp.duration
+
+
+def test_context_manager_nests_automatically(tracker, clock):
+    with tracker.span("a", "outer") as outer:
+        clock.now = 5.0
+        with tracker.span("a", "inner") as inner:
+            clock.now = 8.0
+    assert inner.parent == outer.id
+    assert outer.parent is None
+    assert (inner.depth, outer.depth) == (1, 0)
+    assert tracker.children(outer) == [inner]
+    # inner closes first: completed is ordered by end time
+    assert tracker.completed == [inner, outer]
+
+
+def test_explicit_parent_for_process_style_spans(tracker):
+    root = tracker.begin("gw", "forward")
+    child = tracker.begin("gw", "swap", parent=root)
+    tracker.end(child)
+    tracker.end(root)
+    assert child.parent == root.id
+    assert tracker.get(child.id) is child
+
+
+def test_query_filters_by_category_and_name(tracker):
+    tracker.end(tracker.begin("a", "one"))
+    tracker.end(tracker.begin("b", "one"))
+    tracker.end(tracker.begin("b", "two"))
+    assert len(tracker.query(category="b")) == 2
+    assert len(tracker.query(name="one")) == 2
+    assert len(tracker.query(category="b", name="two")) == 1
+    assert len(tracker) == 3
+
+
+def test_spans_mirror_into_trace_stream(clock):
+    trace = TraceRecorder()
+    tracker = SpanTracker(clock=clock, trace=trace)
+    sp = tracker.begin("gateway", "forward", gw=2)
+    clock.now = 100.0
+    tracker.end(sp, ok=True)
+    begin = trace.query("gateway", "forward_begin")
+    end = trace.query("gateway", "forward_end")
+    assert len(begin) == 1 and len(end) == 1
+    assert begin[0].t == 0.0 and begin[0]["span"] == sp.id
+    assert end[0].t == 100.0 and end[0]["ok"] is True
+
+
+def test_reset_clears_completed(tracker):
+    tracker.end(tracker.begin("a", "b"))
+    tracker.reset()
+    assert len(tracker) == 0
+    assert tracker.query() == []

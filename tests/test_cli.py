@@ -14,6 +14,21 @@ def test_parse_size():
         _parse_size("oops")
 
 
+def test_parse_size_gig_suffix_and_unit():
+    assert _parse_size("1G") == 1 << 30
+    assert _parse_size("2g") == 2 << 30
+    assert _parse_size("1GB") == 1 << 30
+    assert _parse_size("64KB") == 64 << 10
+    assert _parse_size(" 4M ") == 4 << 20
+
+
+def test_parse_size_rejects_trailing_garbage():
+    import argparse
+    for bad in ("4Q", "1Mx", "10KBs", "inf", "nan", "1e6", "-4K", "4 K", ""):
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_size(bad)
+
+
 def test_parse_sizes():
     assert _parse_sizes("1K,2K") == [1024, 2048]
 
@@ -55,3 +70,41 @@ def test_fig7_small(capsys):
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_stats_prints_metrics_snapshot(capsys):
+    assert main(["stats", "--direction", "sci-to-myri",
+                 "--size", "256K"]) == 0
+    out = capsys.readouterr().out
+    assert "delivered in" in out and "MB/s" in out
+    assert "reliable.retransmits" in out
+    assert "gateway.occupancy" in out
+    assert "wire.bytes" in out
+
+
+def test_stats_writes_json_and_csv(tmp_path, capsys):
+    jpath, cpath = tmp_path / "m.json", tmp_path / "m.csv"
+    assert main(["stats", "--size", "128K",
+                 "--json", str(jpath), "--csv", str(cpath)]) == 0
+    import json
+    snapshot = json.loads(jpath.read_text())
+    assert "reliable.attempts" in snapshot
+    assert cpath.read_text().startswith("metric,kind,labels,field,value")
+
+
+def test_stats_survives_fragment_drops(capsys):
+    assert main(["stats", "--size", "128K", "--drop", "0.01",
+                 "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "faults.fragments_dropped" in out
+
+
+def test_trace_writes_chrome_json(tmp_path, capsys):
+    tpath, spath = tmp_path / "t.json", tmp_path / "s.json"
+    assert main(["trace", "--size", "128K",
+                 "--out", str(tpath), "--spans-out", str(spath)]) == 0
+    import json
+    trace = json.loads(tpath.read_text())
+    assert trace["traceEvents"]
+    spans = json.loads(spath.read_text())
+    assert any(e["name"] == "forward" for e in spans["traceEvents"])

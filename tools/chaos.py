@@ -74,6 +74,7 @@ class ChaosReport:
     fragments_dropped: int = 0
     fragments_corrupted: int = 0
     messages_abandoned: int = 0
+    failovers: int = 0
     error: Optional[str] = None
 
     def summary(self) -> str:
@@ -85,6 +86,7 @@ class ChaosReport:
             f"fragments dropped    : {self.fragments_dropped}",
             f"fragments corrupted  : {self.fragments_corrupted}",
             f"gateway msgs abandoned: {self.messages_abandoned}",
+            f"route failovers      : {self.failovers}",
         ]
         if self.corrupt:
             lines.append(f"corrupted payloads   : {self.corrupt}")
@@ -120,7 +122,7 @@ def run_chaos(cfg: ChaosConfig) -> ChaosReport:
         "m0": ["myrinet"], "gwA": ["myrinet", "sci"],
         "gwB": ["myrinet", "sci"], "s0": ["sci"],
     })
-    s = Session(w)
+    s = Session(w, telemetry=True)
     myri = s.channel("myrinet", ["m0", "gwA", "gwB"])
     sci = s.channel("sci", ["gwA", "gwB", "s0"])
     faults = ChannelFaults(drop_p=cfg.drop_p, corrupt_p=cfg.corrupt_p,
@@ -179,12 +181,15 @@ def run_chaos(cfg: ChaosConfig) -> ChaosReport:
                       if data != payloads[i]]
     report.ok = (report.delivered == cfg.messages and not report.corrupt
                  and report.error is None)
-    report.retransmits = rel_src.retransmits
-    trace = w.fabric.trace
-    report.fragments_dropped = len(trace.query("fault", "fragment_dropped"))
-    report.fragments_corrupted = len(trace.query("fault", "fragment_corrupted"))
-    report.messages_abandoned = sum(wk.messages_abandoned
-                                    for wk in vch.workers)
+    # Recovery statistics come from the telemetry registry — the same
+    # numbers `python -m repro stats` prints.
+    m = s.metrics
+    report.retransmits = m.value("reliable.retransmits",
+                                 vchannel=vch.name, rank=s.rank("m0"))
+    report.fragments_dropped = m.total("faults.fragments_dropped")
+    report.fragments_corrupted = m.total("faults.fragments_corrupted")
+    report.messages_abandoned = m.total("gateway.messages_abandoned")
+    report.failovers = m.total("vchannel.failovers")
     return report
 
 
