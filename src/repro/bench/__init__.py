@@ -2,6 +2,8 @@
 formatting used by every figure/table reproduction in ``benchmarks/``."""
 
 from .ping import PingHarness, PingResult, measure_ack_latency, one_way_ping
+from .regress import (compare_to_baseline, format_report, run_regress,
+                      write_baseline, write_results)
 from .sweep import (PAPER_MESSAGE_SIZES, PAPER_PACKET_SIZES, Series,
                     bandwidth_sweep, figure_sweep)
 from .tables import (PaperPoint, format_comparison, format_series_table,
@@ -11,5 +13,7 @@ __all__ = [
     "PingHarness", "PingResult", "measure_ack_latency", "one_way_ping",
     "PAPER_MESSAGE_SIZES", "PAPER_PACKET_SIZES", "Series",
     "bandwidth_sweep", "figure_sweep",
+    "compare_to_baseline", "format_report", "run_regress",
+    "write_baseline", "write_results",
     "PaperPoint", "format_comparison", "format_series_table", "human_size",
 ]

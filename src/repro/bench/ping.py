@@ -111,11 +111,12 @@ class PingHarness:
 
     def __init__(self, packet_size: int = 16 << 10,
                  gateway_params=None, protocols=("myrinet", "sci"),
-                 node_params=None) -> None:
+                 node_params=None, header_batching: bool = False) -> None:
         self.packet_size = packet_size
         self.gateway_params = gateway_params
         self.protocols = protocols
         self.node_params = node_params
+        self.header_batching = header_batching
 
     def build(self):
         from ..hw import build_world
@@ -130,7 +131,8 @@ class PingHarness:
         ch_b = session.channel(pb, ["gw", "b0"])
         vch = session.virtual_channel([ch_a, ch_b],
                                       packet_size=self.packet_size,
-                                      gateway_params=self.gateway_params)
+                                      gateway_params=self.gateway_params,
+                                      header_batching=self.header_batching)
         ack = session.channel("fast_ethernet", ["a0", "b0"])
         return world, session, vch, ack
 

@@ -1,0 +1,314 @@
+"""Continuous benchmark regression: ``repro bench --regress``.
+
+Runs compact, deterministic versions of the paper's evaluation scenarios
+(the figure 5 gateway pipeline, the figure 6/7 bandwidth sweeps, the
+figure 8 PCI-conflict ratios and the §3.1 latency points), writes every
+measured number to ``BENCH_PR3.json`` at the repository root, and compares
+each metric against the committed baseline
+(``benchmarks/baselines/bench_regress.json``) within a tolerance band.
+
+The simulator is deterministic, so on unchanged code every metric matches
+the baseline exactly; the tolerance band exists so that *intentional*
+re-calibrations fail loudly (outside the band) while numerically benign
+refactors (e.g. a different but equivalent float summation order) do not.
+Two classes of check:
+
+* **figure metrics** — latency, bandwidth, pipeline shape: drifting outside
+  the band means the modelled hardware behaviour changed;
+* **kernel-cost metrics** — dispatched simulator events per transferred MB:
+  the hot-path optimisations must keep this at least ``min_event_reduction``
+  below the pre-optimisation kernel (the committed ``pre_pr3`` reference),
+  so an accidental de-optimisation fails CI even though it would not move
+  any simulated timestamp.
+
+Refresh the baseline after an intentional change with
+``repro bench --regress --update-baseline`` and commit the result.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Optional
+
+import numpy as np
+
+from .ping import PingHarness
+from .sweep import figure_sweep
+
+__all__ = ["run_regress", "compare_to_baseline", "format_report",
+           "DEFAULT_BASELINE", "DEFAULT_OUT", "DEFAULT_TOLERANCE"]
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+DEFAULT_BASELINE = _REPO_ROOT / "benchmarks" / "baselines" / "bench_regress.json"
+DEFAULT_OUT = _REPO_ROOT / "BENCH_PR3.json"
+DEFAULT_TOLERANCE = 0.10
+
+#: fig5/fig8 use the paper's balanced configuration: 2 MB over 64 KB paquets.
+_PACKET = 64 << 10
+_MESSAGE = 2 << 20
+
+#: reduced fig6/fig7 grid — enough points to pin the curve and the plateau
+#: without the full 5×12 sweep of the figure reproductions.
+_SWEEP_PACKETS = (8 << 10, 64 << 10, 128 << 10)
+_SWEEP_SIZES = ((1 << k) << 10 for k in (5, 7, 9, 11, 13))
+_SWEEP_SIZES = tuple(_SWEEP_SIZES)
+
+_LATENCY_SIZES = (8 << 10, 4 << 20)
+
+
+def _one_transfer(header_batching: bool = False):
+    """The figure 5 scenario: 2 MB from b0 (SCI) to a0 (Myrinet)."""
+    from ..analysis import extract_timeline, pipeline_stats
+
+    harness = PingHarness(packet_size=_PACKET,
+                          header_batching=header_batching)
+    world, session, vch, _ack = harness.build()
+    data = np.zeros(_MESSAGE, dtype=np.uint8)
+    done = {}
+
+    def snd():
+        m = vch.endpoint(session.rank("b0")).begin_packing(session.rank("a0"))
+        yield m.pack(data)
+        yield m.end_packing()
+
+    def rcv():
+        inc = yield vch.endpoint(session.rank("a0")).begin_unpacking()
+        _ev, _b = inc.unpack(_MESSAGE)
+        yield inc.end_unpacking()
+        done["t"] = session.now
+
+    session.spawn(snd())
+    session.spawn(rcv())
+    session.run()
+    stats = pipeline_stats(extract_timeline(world.trace))
+    sim = session.sim
+    mb = _MESSAGE / (1 << 20)
+    return {
+        "elapsed_us": done["t"],
+        "bandwidth_mbs": _MESSAGE / done["t"],
+        "events_processed": float(sim.events_processed),
+        "events_cancelled": float(sim.events_cancelled),
+        "events_per_mb": sim.events_processed / mb,
+        "fragments": float(stats.fragments),
+        "mean_period_us": stats.mean_period_us,
+        "overlap_fraction": stats.overlap_fraction,
+    }
+
+
+def _scenario_fig5() -> dict:
+    return _one_transfer(header_batching=False)
+
+
+def _scenario_fig5_batched() -> dict:
+    # Informational twin of fig5 with §2.3 header batching on: fewer wire
+    # records, so both the event cost and the elapsed time shift.  Tracked
+    # so a regression in the batched path is caught too.
+    return _one_transfer(header_batching=True)
+
+
+def _scenario_latency() -> dict:
+    out = {}
+    for direction in ("b0->a0", "a0->b0"):
+        for size in _LATENCY_SIZES:
+            harness = PingHarness(packet_size=_PACKET)
+            r = harness.measure(size, direction=direction)
+            key = f"{direction.replace('->', '_to_')}_{size >> 10}k"
+            out[f"{key}_us"] = r.one_way_us
+            out[f"{key}_mbs"] = r.bandwidth
+    return out
+
+
+def _scenario_sweep(direction: str) -> dict:
+    curves = figure_sweep(direction, packet_sizes=_SWEEP_PACKETS,
+                          message_sizes=_SWEEP_SIZES)
+    out = {}
+    for c in curves:
+        out[f"asymptote_{c.meta['packet_size'] >> 10}k_mbs"] = c.asymptote
+    return out
+
+
+def _scenario_fig6() -> dict:
+    return _scenario_sweep("b0->a0")
+
+
+def _scenario_fig7() -> dict:
+    return _scenario_sweep("a0->b0")
+
+
+def _scenario_fig8() -> dict:
+    from ..analysis import extract_timeline, pipeline_stats
+    from ..hw import SCI
+
+    def ratios(direction: str):
+        harness = PingHarness(packet_size=_PACKET)
+        world, session, vch, _ack = harness.build()
+        data = np.zeros(_MESSAGE, dtype=np.uint8)
+        src, dst = (("a0", "b0") if direction == "myri->sci"
+                    else ("b0", "a0"))
+
+        def snd():
+            m = vch.endpoint(session.rank(src)).begin_packing(
+                session.rank(dst))
+            yield m.pack(data)
+            yield m.end_packing()
+
+        def rcv():
+            inc = yield vch.endpoint(session.rank(dst)).begin_unpacking()
+            _ev, _b = inc.unpack(_MESSAGE)
+            yield inc.end_unpacking()
+
+        session.spawn(snd())
+        session.spawn(rcv())
+        session.run()
+        return pipeline_stats(extract_timeline(world.trace))
+
+    stats_ms = ratios("myri->sci")
+    stats_sm = ratios("sci->myri")
+    nominal_send = (SCI.tx_overhead + SCI.latency
+                    + (_PACKET + 16) / SCI.host_peak)
+    return {
+        "myri_to_sci_send_recv_ratio": stats_ms.send_recv_ratio,
+        "sci_to_myri_send_recv_ratio": stats_sm.send_recv_ratio,
+        "sci_send_slowdown": stats_ms.mean_send_us / nominal_send,
+    }
+
+
+_SCENARIOS = {
+    "fig5": _scenario_fig5,
+    "fig5_batched": _scenario_fig5_batched,
+    "fig8": _scenario_fig8,
+    "latency": _scenario_latency,
+    "fig6": _scenario_fig6,
+    "fig7": _scenario_fig7,
+}
+
+#: --quick keeps the cheap single-transfer scenarios (the sweeps dominate
+#: the runtime); comparison then covers only the scenarios that ran.
+_QUICK_SCENARIOS = ("fig5", "fig5_batched", "fig8", "latency")
+
+
+def run_regress(quick: bool = False, progress=None) -> dict:
+    """Run the suite; returns ``{scenario: {metric: value}}``."""
+    names = _QUICK_SCENARIOS if quick else tuple(_SCENARIOS)
+    results = {}
+    for name in names:
+        if progress is not None:
+            progress(name)
+        results[name] = _SCENARIOS[name]()
+    return results
+
+
+def compare_to_baseline(current: dict, baseline: dict,
+                        tolerance: Optional[float] = None) -> list[str]:
+    """Return a list of failure messages (empty means the run passes).
+
+    Every metric of every scenario present in *both* the baseline and the
+    current run must sit within the tolerance band; the fig5 event cost
+    must additionally honour the committed ``min_event_reduction`` against
+    the ``pre_pr3`` kernel reference.
+    """
+    tol = baseline.get("tolerance", DEFAULT_TOLERANCE) \
+        if tolerance is None else tolerance
+    failures = []
+    base_scen = baseline.get("scenarios", {})
+    for name, metrics in base_scen.items():
+        if name not in current:
+            continue   # e.g. a --quick run skipped the sweeps
+        for metric, base in metrics.items():
+            cur = current[name].get(metric)
+            if cur is None:
+                failures.append(f"{name}.{metric}: missing from this run")
+                continue
+            band = tol * max(abs(base), 1e-9)
+            if abs(cur - base) > band:
+                failures.append(
+                    f"{name}.{metric}: {cur:.6g} drifted from baseline "
+                    f"{base:.6g} (>{tol:.0%})")
+    pre = baseline.get("pre_pr3", {})
+    ref = pre.get("fig5_events_per_mb")
+    floor = pre.get("min_event_reduction", 0.0)
+    if ref and "fig5" in current:
+        cur = current["fig5"]["events_per_mb"]
+        reduction = 1.0 - cur / ref
+        if reduction < floor - 1e-9:
+            failures.append(
+                f"fig5.events_per_mb: {cur:.1f} is only {reduction:.1%} "
+                f"below the pre-optimisation kernel ({ref:.1f}); the "
+                f"hot-path pass guarantees >= {floor:.0%}")
+    return failures
+
+
+def kernel_summary(current: dict, baseline: dict) -> dict:
+    """The headline kernel-cost numbers for the report/JSON."""
+    out = {}
+    ref = baseline.get("pre_pr3", {}).get("fig5_events_per_mb")
+    if ref and "fig5" in current:
+        cur = current["fig5"]["events_per_mb"]
+        out = {"fig5_events_per_mb": cur,
+               "pre_pr3_events_per_mb": ref,
+               "event_reduction": 1.0 - cur / ref}
+    return out
+
+
+def format_report(current: dict, baseline: dict,
+                  failures: list[str]) -> str:
+    lines = []
+    base_scen = baseline.get("scenarios", {})
+    for name in current:
+        lines.append(f"{name}:")
+        for metric, cur in sorted(current[name].items()):
+            base = base_scen.get(name, {}).get(metric)
+            if base is None:
+                lines.append(f"  {metric:32s}{cur:14.3f}  (no baseline)")
+            else:
+                delta = (cur - base) / max(abs(base), 1e-9)
+                lines.append(f"  {metric:32s}{cur:14.3f}  "
+                             f"baseline {base:12.3f}  {delta:+8.2%}")
+    ks = kernel_summary(current, baseline)
+    if ks:
+        lines.append(
+            f"\nkernel cost: {ks['fig5_events_per_mb']:.1f} dispatched "
+            f"events/MB vs {ks['pre_pr3_events_per_mb']:.1f} pre-PR3 "
+            f"({ks['event_reduction']:.1%} reduction)")
+    if failures:
+        lines.append("\nREGRESSIONS:")
+        lines.extend(f"  - {f}" for f in failures)
+    else:
+        lines.append("\nall metrics within tolerance")
+    return "\n".join(lines)
+
+
+def write_results(current: dict, baseline: dict, failures: list[str],
+                  path: pathlib.Path) -> None:
+    payload = {
+        "suite": "bench-regress",
+        "kernel": kernel_summary(current, baseline),
+        "scenarios": current,
+        "comparison": {
+            "status": "fail" if failures else "pass",
+            "tolerance": baseline.get("tolerance", DEFAULT_TOLERANCE),
+            "failures": failures,
+        },
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def write_baseline(current: dict, path: pathlib.Path,
+                   tolerance: float = DEFAULT_TOLERANCE,
+                   pre_pr3: Optional[dict] = None) -> None:
+    existing = {}
+    if path.exists():
+        existing = json.loads(path.read_text(encoding="utf-8"))
+    payload = {
+        "tolerance": tolerance,
+        # The pre-optimisation kernel reference survives baseline refreshes:
+        # it is a historical measurement, not something a rerun can produce.
+        "pre_pr3": pre_pr3 if pre_pr3 is not None
+        else existing.get("pre_pr3", {}),
+        "scenarios": {**existing.get("scenarios", {}), **current},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                    encoding="utf-8")

@@ -9,6 +9,7 @@ Examples::
     python -m repro fig7 --packets 8K,128K
     python -m repro stats --direction sci-to-myri --size 4M
     python -m repro trace --size 1M --out trace.json
+    python -m repro bench --regress
 """
 
 from __future__ import annotations
@@ -204,6 +205,43 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import pathlib
+
+    from .bench import regress as rg
+
+    if not args.regress and not args.update_baseline:
+        print("nothing to do: pass --regress (and/or --update-baseline)",
+              file=sys.stderr)
+        return 2
+    baseline_path = pathlib.Path(args.baseline)
+    out_path = pathlib.Path(args.out)
+    current = rg.run_regress(
+        quick=args.quick,
+        progress=lambda name: print(f"  running {name} ...", flush=True))
+    if args.update_baseline:
+        rg.write_baseline(current, baseline_path,
+                          tolerance=args.tolerance
+                          if args.tolerance is not None
+                          else rg.DEFAULT_TOLERANCE)
+        print(f"wrote baseline {baseline_path}")
+        if not args.regress:
+            return 0
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; create one with "
+              f"--update-baseline", file=sys.stderr)
+        return 2
+    import json
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    failures = rg.compare_to_baseline(current, baseline,
+                                      tolerance=args.tolerance)
+    print()
+    print(rg.format_report(current, baseline, failures))
+    rg.write_results(current, baseline, failures, out_path)
+    print(f"\nwrote {out_path}")
+    return 1 if failures else 0
+
+
 def cmd_trace(args) -> int:
     from .analysis import write_chrome_trace, write_spans_chrome
 
@@ -215,6 +253,11 @@ def cmd_trace(args) -> int:
         n = write_spans_chrome(session.spans, args.spans_out)
         print(f"wrote {args.spans_out}: {n} span events")
     return 0
+
+
+def _regress_default(which: str):
+    from .bench import regress as rg
+    return rg.DEFAULT_BASELINE if which == "baseline" else rg.DEFAULT_OUT
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -264,6 +307,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", metavar="PATH",
                    help="also write the snapshot as CSV")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark-regression suite (figures 5-8 + latency points)")
+    p.add_argument("--regress", action="store_true",
+                   help="run the suite and compare against the baseline")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="refresh the committed baseline from this run")
+    p.add_argument("--quick", action="store_true",
+                   help="skip the fig6/fig7 sweeps (CI smoke subset)")
+    p.add_argument("--baseline", default=str(_regress_default("baseline")),
+                   help="baseline JSON path")
+    p.add_argument("--out", default=str(_regress_default("out")),
+                   help="results JSON output path (BENCH_PR3.json)")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="override the baseline's tolerance band")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
         "trace", help="Chrome about:tracing export of one forwarded transfer")

@@ -175,9 +175,11 @@ class NIC:
         # delivery per connection is preserved, while an unmatched fragment
         # to one destination does not head-of-line-block traffic to other
         # destinations (real NICs keep per-connection descriptor queues).
+        # put_nowait: the tx queue is unbounded and nothing waits on the
+        # put, so the completion event would dispatch as a pure no-op.
         match_ev = self.fabric._match_sender(dst, tag)
         match_ev.add_callback(
-            lambda ev, r=req: self._txq.put((r, ev.value)))
+            lambda ev, r=req: self._txq.put_nowait((r, ev.value)))
         return req.done
 
     def _tx_engine(self):
@@ -192,8 +194,11 @@ class NIC:
                 # backlog cannot starve the retry that follows it.
                 req.done.succeed(req.nbytes)
                 continue
-            yield sim.timeout(proto.tx_overhead, name=f"{self.name}.txov")
             if slot.capacity < req.nbytes:
+                # Capacity and size are both fixed at creation, so the
+                # check needs nothing from the overhead window — but the
+                # error still surfaces after it, as on the unbatched path.
+                yield sim.timeout(proto.tx_overhead, name=f"{self.name}.txov")
                 exc = TransferError(
                     f"{self.name} -> {req.dst.name} tag={req.tag!r}: fragment of "
                     f"{req.nbytes}B exceeds posted receive of {slot.capacity}B")
@@ -201,8 +206,16 @@ class NIC:
                     slot.done.fail(exc)
                 req.done.fail(exc)
                 continue
-            # Fault injection (armed plans only; the happy path sees None).
             injector = self.fabric.injector
+            if injector is None:
+                # Hot path: nothing observes the instant between the send
+                # overhead and the wire latency, so both waits batch into a
+                # single (pooled) heap event with identical end time.
+                yield sim.timeout(proto.tx_overhead + proto.latency,
+                                  name=f"{self.name}.txov+wire", pooled=True)
+            else:
+                yield sim.timeout(proto.tx_overhead, name=f"{self.name}.txov")
+            # Fault injection (armed plans only; the happy path sees None).
             verdict = (injector.fragment_verdict(self, req)
                        if injector is not None else None)
             if verdict is not None and verdict.delay_us > 0:
@@ -228,7 +241,9 @@ class NIC:
                 req.done.succeed(req.nbytes)
                 self.fabric._complete_recv(req.dst, slot, req)
                 continue
-            yield sim.timeout(proto.latency, name=f"{self.name}.wire")
+            if injector is not None:
+                # Hot path already served the latency in the batched wait.
+                yield sim.timeout(proto.latency, name=f"{self.name}.wire")
             wire_bytes = req.nbytes + FRAGMENT_HEADER_BYTES
             path = [
                 (self.node.pci, proto.tx_kind),
@@ -339,6 +354,13 @@ class Fabric:
 
     def _complete_recv(self, dst: NIC, slot: _RecvSlot, req: _SendRequest) -> None:
         """Deliver the fragment to the receiver after its rx overhead."""
+        if self.injector is None:
+            # Hot path: nothing can force-fail the slot without an armed
+            # fault plan, so deliver directly at now + rx_overhead (one heap
+            # event) instead of timeout-then-succeed (two).
+            slot.done.succeed_later(dst.protocol.rx_overhead,
+                                    (req.meta, req.nbytes))
+            return
         delay = self.sim.timeout(dst.protocol.rx_overhead,
                                  name=f"{dst.name}.rxov")
 

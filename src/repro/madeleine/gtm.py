@@ -57,6 +57,7 @@ class GTMOutgoing(_ExecutorMixin):
         self.vchannel = vchannel
         self.src = src
         self.dst = dst
+        self.batched = vchannel.header_batching
         from ..routing import negotiate_mtu
         self.mtu = negotiate_mtu(route, vchannel.packet_size)
         hop0 = route[0]
@@ -75,7 +76,7 @@ class GTMOutgoing(_ExecutorMixin):
         self._finished.add_callback(lambda _ev: lock.release())
         announce = Announce(mode=MODE_GTM, origin=src, final_dst=dst,
                             mtu=self.mtu, msg_id=self.msg_id,
-                            hops_left=len(route) - 1)
+                            hops_left=len(route) - 1, batched=self.batched)
         self._submit(self._announce_op(lock, announce))
 
     def _announce_op(self, lock, announce: Announce):
@@ -114,13 +115,45 @@ class GTMOutgoing(_ExecutorMixin):
         if self.aborted:
             return
         desc = Descriptor(length=len(buf), smode=smode, rmode=rmode)
-        self._send_events.append(self._send(
-            Buffer.wrap(encode_descriptor(desc)), meta={"type": "desc"}))
+        desc_buf = Buffer.wrap(encode_descriptor(desc))
+        if self.batched:
+            # Header batching (§2.3): the descriptor rides in the same wire
+            # record as the head of the buffer instead of costing its own
+            # send.  The head is shortened so the combined record still fits
+            # one MTU (gateways stage whole records in MTU-sized blocks).
+            head = min(len(buf), self.mtu - DESC_BYTES)
+        else:
+            head = 0
+            self._send_events.append(
+                self._send(desc_buf, meta={"type": "desc"}))
         if smode == SendMode.SAFER and not self.tm.protocol.tx_static:
             shadow = Buffer.alloc(len(buf), label="gtm.safer")
             shadow.copy_from(buf, self.accounting, self.sim.now, "gtm.safer")
             buf = shadow
-        for off, size in split_fragments(len(buf), self.mtu):
+        if self.batched:
+            if self.aborted:
+                return
+            if self.tm.protocol.tx_static and head:
+                block = yield self.tm.tx_pool.acquire()
+                if self.aborted:
+                    self.tm.tx_pool.release(block)
+                    return
+                block.view(0, head).copy_from(
+                    buf.view(0, head), self.accounting,
+                    self.sim.now, "gtm.stage")
+                ev = self._send([desc_buf, block.view(0, head)],
+                                meta={"type": "gtmh"})
+                pool = self.tm.tx_pool
+                ev.add_callback(lambda _e, b=block: pool.release(b))
+            elif head:
+                ev = self._send([desc_buf, buf.view(0, head)],
+                                meta={"type": "gtmh"})
+            else:
+                # Zero-length buffer: the record is just the descriptor.
+                ev = self._send([desc_buf], meta={"type": "gtmh"})
+            self._send_events.append(ev)
+        for off, size in split_fragments(len(buf) - head, self.mtu):
+            off += head
             if self.aborted:
                 return
             if self.tm.protocol.tx_static:
@@ -173,6 +206,7 @@ class GTMIncoming(_ExecutorMixin):
         self.origin = announce.origin
         self.hop_src = hop_src
         self.mtu = announce.mtu
+        self.batched = announce.batched
         self.msg_id = announce.msg_id
         self.tm = endpoint.tm
         self.accounting = self.tm.channel.fabric.accounting
@@ -257,12 +291,17 @@ class GTMIncoming(_ExecutorMixin):
         yield from self._consume(buf)
 
     def _consume(self, buf: Buffer):
-        desc = yield from self._recv_desc()
-        if desc.length != len(buf):
-            raise UnpackMismatch(
-                f"descriptor announces {desc.length}B but unpack expects "
-                f"{len(buf)}B")
-        for off, size in split_fragments(desc.length, self.mtu):
+        if self.batched:
+            head = yield from self._recv_batched_head(buf)
+        else:
+            head = 0
+            desc = yield from self._recv_desc()
+            if desc.length != len(buf):
+                raise UnpackMismatch(
+                    f"descriptor announces {desc.length}B but unpack "
+                    f"expects {len(buf)}B")
+        for off, size in split_fragments(len(buf) - head, self.mtu):
+            off += head
             if self.tm.protocol.rx_static:
                 block = yield from self._wait_acquire(self.tm.rx_pool)
                 post = self.tm.post_item(self.hop_src, block,
@@ -301,6 +340,47 @@ class GTMIncoming(_ExecutorMixin):
             self._expect(meta, n, "desc", DESC_BYTES)
             desc = decode_descriptor(dbuf.tobytes())
         return desc
+
+    def _recv_batched_head(self, buf: Buffer):
+        """Receive one header-batched record: descriptor + buffer head.
+
+        Mirrors the sender's batched :meth:`GTMOutgoing._emit`: the first
+        wire record of each buffer gathers the 16-byte descriptor with up to
+        ``mtu - DESC_BYTES`` bytes of payload.  Returns the number of payload
+        bytes delivered (the head), so the caller consumes the remainder as
+        plain fragments.
+        """
+        head = min(len(buf), self.mtu - DESC_BYTES)
+        if self.tm.protocol.rx_static:
+            block = yield from self._wait_acquire(self.tm.rx_pool)
+            post = self.tm.post_item(self.hop_src, block, msg_id=self.msg_id)
+            meta, n = yield from self._wait_post(post, block, self.tm.rx_pool)
+            try:
+                self._expect(meta, n, "gtmh", DESC_BYTES + head)
+                desc = decode_descriptor(block.view(0, DESC_BYTES).tobytes())
+                if desc.length != len(buf):
+                    raise UnpackMismatch(
+                        f"descriptor announces {desc.length}B but unpack "
+                        f"expects {len(buf)}B")
+                if head:
+                    buf.view(0, head).copy_from(
+                        block.view(DESC_BYTES, DESC_BYTES + head),
+                        self.accounting, self.sim.now, "gtm.deliver")
+            finally:
+                self.tm.rx_pool.release(block)
+        else:
+            dbuf = Buffer.alloc(DESC_BYTES, label="gtm.desc")
+            post = self.tm.post_item(self.hop_src,
+                                     [dbuf, buf.view(0, head)],
+                                     msg_id=self.msg_id)
+            meta, n = yield from self._wait_post(post, None, None)
+            self._expect(meta, n, "gtmh", DESC_BYTES + head)
+            desc = decode_descriptor(dbuf.tobytes())
+            if desc.length != len(buf):
+                raise UnpackMismatch(
+                    f"descriptor announces {desc.length}B but unpack "
+                    f"expects {len(buf)}B")
+        return head
 
     @staticmethod
     def _expect(meta: dict, n: int, wanted_type: str, wanted_size: int) -> None:

@@ -139,18 +139,22 @@ class Session:
                         packet_size: Optional[int] = None,
                         gateway_params: Optional[GatewayParams] = None,
                         name: str = "",
-                        multirail: bool = False) -> VirtualChannel:
+                        multirail: bool = False,
+                        header_batching: bool = False) -> VirtualChannel:
         """Bundle real channels into a virtual channel with transparent
         forwarding on every gateway node (``multirail`` spreads messages
-        over parallel equal-length routes, relaxing inter-message order).
-        ``packet_size=None`` uses the session default."""
+        over parallel equal-length routes, relaxing inter-message order;
+        ``header_batching`` piggybacks GTM self-description records on
+        payload fragments, §2.3).  ``packet_size=None`` uses the session
+        default."""
         self._check_open()
         vch = VirtualChannel(channels,
                              packet_size=(self.default_packet_size
                                           if packet_size is None
                                           else packet_size),
                              gateway_params=gateway_params, name=name,
-                             multirail=multirail)
+                             multirail=multirail,
+                             header_batching=header_batching)
         self.virtual_channels.append(vch)
         return vch
 

@@ -93,4 +93,6 @@ def peer_tm_announce_tag(channel: "RealChannel", dst: int) -> tuple:
 
 
 def decode_announce_buffer(buffer: Buffer) -> Announce:
-    return decode_announce(buffer.tobytes())
+    # Landing buffers may be over-provisioned; the codec wants the exact
+    # record, so slice before decoding.
+    return decode_announce(buffer.view(0, ANNOUNCE_BYTES).tobytes())

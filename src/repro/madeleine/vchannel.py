@@ -88,7 +88,8 @@ class VirtualChannel:
     def __init__(self, channels: Sequence[RealChannel],
                  packet_size: int = DEFAULT_PACKET_SIZE,
                  gateway_params: Optional[GatewayParams] = None,
-                 name: str = "", multirail: bool = False) -> None:
+                 name: str = "", multirail: bool = False,
+                 header_batching: bool = False) -> None:
         if not channels:
             raise ValueError("a virtual channel needs at least one real channel")
         worlds = {id(ch.world) for ch in channels}
@@ -119,6 +120,12 @@ class VirtualChannel:
         #: Inter-message ordering between one pair is then no longer
         #: guaranteed — the standard multi-rail trade-off.
         self.multirail = multirail
+        #: header batching (§2.3): piggyback each buffer's self-description
+        #: record on its first fragment instead of spending a wire record on
+        #: it.  Negotiated per message through the announce, so receivers
+        #: and gateways need no out-of-band agreement.  Off by default: the
+        #: calibrated paper figures were measured without it.
+        self.header_batching = header_batching
         self._rail_counters: dict[tuple[int, int], int] = {}
         self.gateways = gateway_ranks(self.channels)
         self.workers: list[ForwardingWorker] = []

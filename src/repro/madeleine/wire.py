@@ -46,6 +46,18 @@ DESC_BYTES = struct.calcsize(_DESC_FMT)           # 16
 
 _MTU_UNIT = 1024   # MTUs are whole KB on the wire (they are KB-sized powers of two)
 
+#: high bit of the wire mode byte: header batching — the GTM piggybacks each
+#: buffer's descriptor record on that buffer's first fragment (§2.3's
+#: aggregation of control information with payload).
+_MODE_BATCHED_BIT = 0x80
+
+#: wire field ceilings (exceeding one would silently wrap in struct.pack)
+_MAX_RANK = 0xFFFF            # origin / final_dst pack as H
+_MAX_MTU = 0xFFFF * _MTU_UNIT  # mtu_kb packs as H => MTUs below 64 MiB
+_MAX_MSG_ID = 0xFFFF_FFFF     # msg_id packs as I
+_MAX_HOPS = 0xFF              # hops_left packs as B
+_MAX_DESC_LEN = 0xFFFF_FFFF   # descriptor length packs as I
+
 
 @dataclass(frozen=True)
 class Announce:
@@ -57,6 +69,7 @@ class Announce:
     mtu: int                   # fragment size negotiated for the whole path
     msg_id: int
     hops_left: int = 0         # remaining forwarding hops after this one
+    batched: bool = False      # GTM header batching negotiated for the message
 
     def __post_init__(self) -> None:
         if self.mode not in (MODE_REGULAR, MODE_GTM):
@@ -87,26 +100,58 @@ class Descriptor:
         return self.terminator
 
 
+def _check_range(what: str, value: int, limit: int) -> None:
+    if not 0 <= value <= limit:
+        raise ValueError(
+            f"announce {what}={value} does not fit the wire field "
+            f"(0..{limit}); refusing to emit a corrupt record")
+
+
 def encode_announce(a: Announce) -> bytes:
-    return struct.pack(_ANNOUNCE_FMT, a.mode, a.origin, a.final_dst,
+    """Encode; raises :class:`ValueError` on any value that would silently
+    wrap in its fixed-width wire field (e.g. MTUs of 64 MiB and beyond)."""
+    _check_range("origin", a.origin, _MAX_RANK)
+    _check_range("final_dst", a.final_dst, _MAX_RANK)
+    _check_range("mtu", a.mtu, _MAX_MTU)
+    _check_range("msg_id", a.msg_id, _MAX_MSG_ID)
+    _check_range("hops_left", a.hops_left, _MAX_HOPS)
+    mode = a.mode | (_MODE_BATCHED_BIT if a.batched else 0)
+    return struct.pack(_ANNOUNCE_FMT, mode, a.origin, a.final_dst,
                        a.mtu // _MTU_UNIT, a.msg_id, a.hops_left)
 
 
 def decode_announce(raw: bytes) -> Announce:
+    """Decode an announce record; ``raw`` must be exactly the record."""
+    raw = bytes(raw)
+    if len(raw) != ANNOUNCE_BYTES:
+        raise ValueError(
+            f"announce record must be exactly {ANNOUNCE_BYTES} bytes, "
+            f"got {len(raw)}")
     mode, origin, final_dst, mtu_kb, msg_id, hops_left = struct.unpack(
-        _ANNOUNCE_FMT, bytes(raw[:ANNOUNCE_BYTES]))
-    return Announce(mode=mode, origin=origin, final_dst=final_dst,
-                    mtu=mtu_kb * _MTU_UNIT, msg_id=msg_id, hops_left=hops_left)
+        _ANNOUNCE_FMT, raw)
+    return Announce(mode=mode & ~_MODE_BATCHED_BIT, origin=origin,
+                    final_dst=final_dst, mtu=mtu_kb * _MTU_UNIT,
+                    msg_id=msg_id, hops_left=hops_left,
+                    batched=bool(mode & _MODE_BATCHED_BIT))
 
 
 def encode_descriptor(d: Descriptor) -> bytes:
+    if not 0 <= d.length <= _MAX_DESC_LEN:
+        raise ValueError(
+            f"descriptor length={d.length} does not fit the wire field "
+            f"(0..{_MAX_DESC_LEN}); refusing to emit a corrupt record")
     kind = _DESC_KIND_TERMINATOR if d.terminator else _DESC_KIND_DATA
     return struct.pack(_DESC_FMT, d.length, int(d.smode), int(d.rmode), kind)
 
 
 def decode_descriptor(raw: bytes) -> Descriptor:
-    length, smode, rmode, kind = struct.unpack(_DESC_FMT,
-                                               bytes(raw[:DESC_BYTES]))
+    """Decode a descriptor record; ``raw`` must be exactly the record."""
+    raw = bytes(raw)
+    if len(raw) != DESC_BYTES:
+        raise ValueError(
+            f"descriptor record must be exactly {DESC_BYTES} bytes, "
+            f"got {len(raw)}")
+    length, smode, rmode, kind = struct.unpack(_DESC_FMT, raw)
     return Descriptor(length=length, smode=SendMode(smode),
                       rmode=RecvMode(rmode),
                       terminator=kind == _DESC_KIND_TERMINATOR)

@@ -113,6 +113,8 @@ class FluidNetwork:
         self.sim = sim
         self.flows: set[Flow] = set()
         self._wake_version = 0
+        self._wake_ev: Optional[Event] = None
+        self._wake_at: float = float("inf")
         #: optional observers called as fn(t, flow, new_rate) on rate changes
         #: (used by the pipeline analyses behind Figures 5 and 8).
         self.rate_observers: list[Callable[[float, Flow, float], None]] = []
@@ -175,21 +177,45 @@ class FluidNetwork:
         self._schedule_wakeup()
 
     def _schedule_wakeup(self) -> None:
-        """Arm a timeout for the earliest flow completion (if any)."""
-        self._wake_version += 1
-        version = self._wake_version
+        """Arm a timeout for the earliest flow completion (if any).
+
+        Recomputations happen far more often than wake-ups fire, so a naive
+        new-timeout-per-recompute leaves a trail of dead events on the heap
+        (every one popped and dispatched as a no-op).  Instead: if the
+        pending wake-up already fires at exactly the recomputed instant it
+        is kept; otherwise it is lazily cancelled (discarded off the heap
+        without dispatch) and a pooled replacement is armed.  Firing times
+        are identical to the naive scheme in both cases, so the event
+        schedule observed by flows does not change.
+        """
         horizon = float("inf")
         for flow in self.flows:
             if flow.rate > _EPS:
                 horizon = min(horizon, flow.remaining / flow.rate)
+        pending = self._wake_ev is not None and not self._wake_ev.processed
         if horizon == float("inf"):
+            self._wake_version += 1
+            if pending:
+                self._wake_ev.cancel()
+            self._wake_ev = None
             return
-        ev = self.sim.timeout(max(0.0, horizon), name="fluid.wake")
+        wake_at = self.sim.now + max(0.0, horizon)
+        if pending and wake_at == self._wake_at:
+            return  # the armed wake-up is already exact — reuse it
+        self._wake_version += 1
+        version = self._wake_version
+        if pending:
+            self._wake_ev.cancel()
+        ev = self.sim.timeout(max(0.0, horizon), name="fluid.wake",
+                              pooled=True)
         ev.add_callback(lambda _ev: self._on_wake(version))
+        self._wake_ev = ev
+        self._wake_at = wake_at
 
     def _on_wake(self, version: int) -> None:
         if version != self._wake_version:
             return  # superseded by a more recent recomputation
+        self._wake_ev = None
         self._advance()
         finished = [f for f in self.flows if f.remaining <= 1e-6 * max(1.0, f.size)]
         for flow in finished:

@@ -107,6 +107,22 @@ class Queue:
             self._putters.append((ev, item))
         return ev
 
+    def put_nowait(self, item: Any) -> bool:
+        """Enqueue without creating a completion event; True on success.
+
+        For producers that discard ``put``'s event anyway (the transport
+        hot path): a discarded event still costs a heap push and a no-op
+        dispatch.  Returns False — item **not** enqueued — when a bounded
+        queue is full; such callers need the waiting ``put``.
+        """
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            return True
+        return False
+
     def get(self) -> Event:
         ev = self.sim.event(name=f"{self.name}.get")
         if self._items:

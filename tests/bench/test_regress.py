@@ -1,0 +1,96 @@
+"""The benchmark-regression harness: comparison logic and a live quick run."""
+
+import json
+
+import pytest
+
+from repro.bench import regress as rg
+
+
+@pytest.fixture
+def baseline():
+    return {
+        "tolerance": 0.10,
+        "pre_pr3": {"fig5_events_per_mb": 500.0, "min_event_reduction": 0.20},
+        "scenarios": {
+            "fig5": {"elapsed_us": 1000.0, "events_per_mb": 400.0},
+            "fig6": {"asymptote_64k_mbs": 50.0},
+        },
+    }
+
+
+def test_identical_run_passes(baseline):
+    current = {name: dict(m) for name, m in baseline["scenarios"].items()}
+    assert rg.compare_to_baseline(current, baseline) == []
+
+
+def test_drift_within_band_passes(baseline):
+    current = {"fig5": {"elapsed_us": 1050.0, "events_per_mb": 395.0},
+               "fig6": {"asymptote_64k_mbs": 52.0}}
+    assert rg.compare_to_baseline(current, baseline) == []
+
+
+def test_drift_outside_band_fails(baseline):
+    current = {"fig5": {"elapsed_us": 1200.0, "events_per_mb": 400.0},
+               "fig6": {"asymptote_64k_mbs": 50.0}}
+    failures = rg.compare_to_baseline(current, baseline)
+    assert len(failures) == 1
+    assert "fig5.elapsed_us" in failures[0]
+
+
+def test_missing_metric_fails(baseline):
+    current = {"fig5": {"elapsed_us": 1000.0, "events_per_mb": 400.0},
+               "fig6": {}}
+    failures = rg.compare_to_baseline(current, baseline)
+    assert any("fig6.asymptote_64k_mbs" in f and "missing" in f
+               for f in failures)
+
+
+def test_skipped_scenario_is_not_a_failure(baseline):
+    # --quick runs omit the sweeps; only scenarios that ran are compared.
+    current = {"fig5": {"elapsed_us": 1000.0, "events_per_mb": 400.0}}
+    assert rg.compare_to_baseline(current, baseline) == []
+
+
+def test_event_reduction_floor_enforced(baseline):
+    # 450/500 is only a 10% cut — below the committed 20% floor, even
+    # though no baseline metric drifted.
+    current = {"fig5": {"elapsed_us": 1000.0, "events_per_mb": 450.0}}
+    failures = rg.compare_to_baseline(current, baseline,
+                                      tolerance=0.2)
+    assert any("pre-optimisation" in f for f in failures)
+
+
+def test_tolerance_override(baseline):
+    current = {"fig5": {"elapsed_us": 1040.0, "events_per_mb": 400.0},
+               "fig6": {"asymptote_64k_mbs": 50.0}}
+    assert rg.compare_to_baseline(current, baseline, tolerance=0.05) == []
+    assert rg.compare_to_baseline(current, baseline, tolerance=0.01)
+
+
+def test_write_baseline_preserves_pre_pr3_reference(tmp_path):
+    path = tmp_path / "baseline.json"
+    rg.write_baseline({"fig5": {"x": 1.0}}, path,
+                      pre_pr3={"fig5_events_per_mb": 500.0})
+    rg.write_baseline({"fig5": {"x": 2.0}}, path)   # refresh without pre_pr3
+    data = json.loads(path.read_text())
+    assert data["pre_pr3"] == {"fig5_events_per_mb": 500.0}
+    assert data["scenarios"]["fig5"]["x"] == 2.0
+
+
+def test_quick_run_matches_committed_baseline(tmp_path):
+    """The committed baseline must reproduce exactly on this checkout —
+    the simulator is deterministic, so any difference is a real change."""
+    current = rg.run_regress(quick=True)
+    baseline = json.loads(rg.DEFAULT_BASELINE.read_text(encoding="utf-8"))
+    failures = rg.compare_to_baseline(current, baseline)
+    assert failures == []
+    for name in rg._QUICK_SCENARIOS:
+        for metric, value in current[name].items():
+            assert value == baseline["scenarios"][name][metric], \
+                f"{name}.{metric} not bit-identical to the committed baseline"
+    out = tmp_path / "bench.json"
+    rg.write_results(current, baseline, failures, out)
+    payload = json.loads(out.read_text())
+    assert payload["comparison"]["status"] == "pass"
+    assert payload["kernel"]["event_reduction"] >= 0.20

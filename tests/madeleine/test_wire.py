@@ -52,10 +52,79 @@ def test_terminator_with_payload_rejected():
         Descriptor(length=5, terminator=True)
 
 
-def test_decode_ignores_trailing_bytes():
+def test_decode_rejects_trailing_bytes():
+    # Trailing garbage used to be silently sliced off; a forwarded stream
+    # that framed records wrongly went undetected.  Now it is an error.
     d = Descriptor(length=10)
     raw = encode_descriptor(d) + b"garbage"
-    assert decode_descriptor(raw) == d
+    with pytest.raises(ValueError, match="exactly 16 bytes"):
+        decode_descriptor(raw)
+
+
+def test_announce_boundary_values_roundtrip():
+    a = Announce(mode=MODE_GTM, origin=0xFFFF, final_dst=0,
+                 mtu=0xFFFF << 10, msg_id=2**32 - 1, hops_left=255)
+    assert decode_announce(encode_announce(a)) == a
+
+
+def test_encode_announce_rejects_oversized_mtu():
+    # 64 MiB packs as 0x10000 KB, which silently wrapped to 0 in the H
+    # field — the receiver then negotiated a zero MTU.
+    a = Announce(mode=MODE_GTM, origin=0, final_dst=1, mtu=64 << 20, msg_id=1)
+    with pytest.raises(ValueError, match="mtu"):
+        encode_announce(a)
+
+
+@pytest.mark.parametrize("field,value", [
+    ("origin", 0x10000), ("final_dst", 0x10000),
+    ("msg_id", 2**32), ("hops_left", 256),
+    ("origin", -1), ("msg_id", -1),
+])
+def test_encode_announce_rejects_out_of_range_fields(field, value):
+    kwargs = dict(mode=MODE_GTM, origin=0, final_dst=1,
+                  mtu=16 << 10, msg_id=1, hops_left=1)
+    kwargs[field] = value
+    with pytest.raises(ValueError, match=field):
+        encode_announce(Announce(**kwargs))
+
+
+def test_encode_descriptor_rejects_oversized_length():
+    with pytest.raises(ValueError, match="length"):
+        encode_descriptor(Descriptor(length=2**32))
+
+
+def test_decode_announce_rejects_short_input():
+    raw = encode_announce(Announce(mode=MODE_REGULAR, origin=0, final_dst=1,
+                                   mtu=16 << 10, msg_id=7))
+    # Truncation used to surface as a bare struct.error deep in the stack.
+    with pytest.raises(ValueError, match=f"exactly {ANNOUNCE_BYTES} bytes"):
+        decode_announce(raw[:-1])
+    with pytest.raises(ValueError, match=f"exactly {ANNOUNCE_BYTES} bytes"):
+        decode_announce(raw + b"\x00")
+    with pytest.raises(ValueError, match=f"exactly {ANNOUNCE_BYTES} bytes"):
+        decode_announce(b"")
+
+
+def test_decode_descriptor_rejects_short_input():
+    raw = encode_descriptor(Descriptor(length=10))
+    with pytest.raises(ValueError, match="exactly 16 bytes"):
+        decode_descriptor(raw[:8])
+    with pytest.raises(ValueError, match="exactly 16 bytes"):
+        decode_descriptor(b"")
+
+
+def test_announce_batched_flag_roundtrip():
+    a = Announce(mode=MODE_GTM, origin=2, final_dst=5, mtu=16 << 10,
+                 msg_id=99, hops_left=1, batched=True)
+    got = decode_announce(encode_announce(a))
+    assert got == a
+    assert got.batched
+    # ...and the flag does not leak into the mode of an unbatched record.
+    plain = decode_announce(encode_announce(
+        Announce(mode=MODE_GTM, origin=2, final_dst=5, mtu=16 << 10,
+                 msg_id=99, hops_left=1)))
+    assert not plain.batched
+    assert plain.mode == MODE_GTM
 
 
 @given(mode=st.sampled_from([MODE_REGULAR, MODE_GTM]),
@@ -63,11 +132,13 @@ def test_decode_ignores_trailing_bytes():
        final_dst=st.integers(0, 65535),
        mtu_kb=st.integers(0, 65535),
        msg_id=st.integers(0, 2**32 - 1),
-       hops=st.integers(0, 255))
+       hops=st.integers(0, 255),
+       batched=st.booleans())
 def test_announce_roundtrip_property(mode, origin, final_dst, mtu_kb,
-                                     msg_id, hops):
+                                     msg_id, hops, batched):
     a = Announce(mode=mode, origin=origin, final_dst=final_dst,
-                 mtu=mtu_kb * 1024, msg_id=msg_id, hops_left=hops)
+                 mtu=mtu_kb * 1024, msg_id=msg_id, hops_left=hops,
+                 batched=batched)
     assert decode_announce(encode_announce(a)) == a
 
 

@@ -1,4 +1,14 @@
-"""Deterministic discrete-event simulation kernel.
+"""Verbatim snapshot of the PRE-optimization discrete-event kernel.
+
+This is the kernel as it stood before the PR 3 hot-path pass (lazy
+cancellation, pooled timeouts, batched dispatch).  The schedule-identity
+tests run the same scenarios on this module and on :mod:`repro.sim.engine`
+and assert the dispatch sequences are bit-identical.  Do not "fix" or
+optimize this file — its whole value is that it stays frozen.
+
+Original module docstring follows.
+
+Deterministic discrete-event simulation kernel.
 
 The kernel is a small, simpy-flavoured engine: simulation *processes* are
 Python generators that ``yield`` :class:`Event` objects and are resumed when
@@ -10,23 +20,6 @@ Determinism: the event heap is ordered by ``(time, priority, sequence)``
 where ``sequence`` is a global monotonic counter, so two runs of the same
 program always produce the same schedule.  Nothing in the kernel consults
 wall-clock time or random state.
-
-Hot-path machinery (all schedule-preserving — the dispatch sequence stays
-bit-identical to the unoptimized kernel, see ``tests/sim/reference_engine.py``):
-
-* **lazy cancellation** — :meth:`Event.cancel` marks a scheduled event dead;
-  the heap discards it on pop without dispatching (used by the fluid network
-  for superseded wake-ups, which would otherwise dispatch as no-ops);
-* **pooled timeouts** — ``Simulator.timeout(..., pooled=True)`` recycles
-  :class:`Timeout` objects through a free list once dispatched, for internal
-  fire-and-forget waits whose reference is provably dropped by dispatch time;
-* **batched dispatch** — :meth:`Event.succeed_later` triggers an event now
-  but delivers it ``delay`` µs later, collapsing the classic
-  timeout-then-succeed pattern (two heap events) into one.
-
-``events_processed`` counts dispatched events; ``events_cancelled`` counts
-lazily discarded ones.  The benchmark-regression harness tracks
-events-processed-per-MB as the kernel-efficiency figure of merit.
 """
 
 from __future__ import annotations
@@ -34,7 +27,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from .errors import DeadlockError, ProcessCrashed, SchedulingError
+from repro.sim.errors import DeadlockError, ProcessCrashed, SchedulingError
 
 __all__ = [
     "Event",
@@ -64,8 +57,7 @@ class Event:
     it, all registered callbacks run (in registration order).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "name",
-                 "_cancelled")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "name")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
@@ -76,7 +68,6 @@ class Event:
         self._value: Any = _UNSET
         self._ok: Optional[bool] = None
         self._defused = False
-        self._cancelled = False
 
     # -- state ------------------------------------------------------------
     @property
@@ -120,42 +111,6 @@ class Event:
         self.sim._enqueue(self.sim.now, priority, self)
         return self
 
-    def succeed_later(self, delay: float, value: Any = None,
-                      priority: int = PRIORITY_NORMAL) -> "Event":
-        """Trigger now, deliver ``delay`` µs from now (batched dispatch).
-
-        Equivalent in delivery time to arming a :class:`Timeout` whose
-        callback calls :meth:`succeed`, but costs one heap event instead of
-        two.  The event reads as *triggered* immediately — callers that need
-        the triggered flag to stay false during the delay (e.g. so a
-        force-fail can still win the race) must use the two-event pattern.
-        """
-        if delay < 0:
-            raise ValueError(f"negative delivery delay {delay!r}")
-        if self._ok is not None:
-            raise SchedulingError(f"event {self!r} already triggered")
-        self._ok = True
-        self._value = value
-        self.sim._enqueue(self.sim.now + delay, priority, self)
-        return self
-
-    def cancel(self) -> None:
-        """Lazily cancel a triggered-but-unprocessed event.
-
-        The heap entry stays in place and is discarded (not dispatched) when
-        it reaches the top — no callbacks run, and it does not count as a
-        processed event.  Cancelling an already processed event is an error;
-        cancelling an untriggered event is allowed (it guards against the
-        event being triggered later).
-        """
-        if self.callbacks is None:
-            raise SchedulingError(f"cannot cancel processed event {self!r}")
-        self._cancelled = True
-
-    @property
-    def cancelled(self) -> bool:
-        return self._cancelled
-
     def defuse(self) -> None:
         """Mark a failed event as handled so the kernel does not re-raise."""
         self._defused = True
@@ -175,36 +130,18 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` µs after creation.
+    """An event that triggers ``delay`` µs after creation."""
 
-    ``_poolable`` timeouts (built via ``Simulator.timeout(pooled=True)``)
-    return to the simulator's free list once dispatched or discarded, so the
-    per-fragment waits of the transport hot path stop allocating.
-    """
-
-    __slots__ = ("_poolable",)
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None,
                  name: str = "") -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
         super().__init__(sim, name=name)
-        self._poolable = False
         self._ok = True
         self._value = value
         sim._enqueue(sim.now + delay, PRIORITY_NORMAL, self)
-
-    def _rearm(self, delay: float, value: Any, name: str) -> None:
-        """Reset a recycled instance and put it back on the heap."""
-        if delay < 0:
-            raise ValueError(f"negative timeout delay {delay!r}")
-        self.name = name
-        self.callbacks = []
-        self._defused = False
-        self._cancelled = False
-        self._ok = True
-        self._value = value
-        self.sim._enqueue(self.sim.now + delay, PRIORITY_NORMAL, self)
 
 
 class Initialize(Event):
@@ -343,33 +280,13 @@ class Simulator:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._crashes: list[Process] = []
-        #: events dispatched (callbacks run) since construction.
-        self.events_processed = 0
-        #: lazily cancelled events discarded off the heap without dispatch.
-        self.events_cancelled = 0
-        self._timeout_pool: list[Timeout] = []
 
     # -- event construction -------------------------------------------------
     def event(self, name: str = "") -> Event:
         return Event(self, name=name)
 
-    def timeout(self, delay: float, value: Any = None, name: str = "",
-                pooled: bool = False) -> Timeout:
-        """A timeout event; ``pooled=True`` recycles the object after
-        dispatch.
-
-        Pooling is for kernel-internal fire-and-forget waits only: the
-        caller must not keep a reference past the timeout's dispatch
-        (a ``yield`` of it from a process is fine — the process has moved
-        on by then), and must not ``add_callback`` after it has fired.
-        """
-        if pooled and self._timeout_pool:
-            ev = self._timeout_pool.pop()
-            ev._rearm(delay, value, name)
-            return ev
-        ev = Timeout(self, delay, value=value, name=name)
-        ev._poolable = pooled
-        return ev
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        return Timeout(self, delay, value=value, name=name)
 
     def process(self, gen: Generator, name: str = "") -> Process:
         return Process(self, gen, name=name)
@@ -389,49 +306,24 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (at, priority, self._seq, event))
 
-    def _discard_cancelled(self) -> None:
-        """Drop lazily cancelled events off the heap top (no dispatch)."""
-        heap = self._heap
-        while heap and heap[0][3]._cancelled:
-            event = heapq.heappop(heap)[3]
-            self.events_cancelled += 1
-            event.callbacks = None
-            if isinstance(event, Timeout) and event._poolable:
-                self._timeout_pool.append(event)
-
     def peek(self) -> float:
-        """Time of the next live scheduled event, or +inf if none."""
-        self._discard_cancelled()
+        """Time of the next scheduled event, or +inf if the heap is empty."""
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one (live) event off the heap."""
-        self._discard_cancelled()
-        if not self._heap:
-            raise SchedulingError(
-                f"step() on an empty event heap at t={self.now:.3f}µs — "
-                f"nothing is scheduled")
+        """Process exactly one event off the heap."""
         at, _prio, _seq, event = heapq.heappop(self._heap)
         if at < self.now - 1e-9:
             raise SchedulingError(f"time went backwards: {at} < {self.now}")
         self.now = max(self.now, at)
-        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
-        if callbacks:
-            if len(callbacks) == 1:
-                # The overwhelmingly common case: one waiter (a process
-                # resume or a completion hook) — skip the loop machinery.
-                callbacks[0](event)
-            else:
-                for fn in callbacks:
-                    fn(event)
+        for fn in callbacks or ():
+            fn(event)
         if event._ok is False and not event._defused:
             exc = event._value
             if isinstance(event, Process):
                 raise ProcessCrashed(event.name, str(exc)) from exc
             raise exc
-        if isinstance(event, Timeout) and event._poolable:
-            self._timeout_pool.append(event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.
@@ -451,7 +343,7 @@ class Simulator:
             done = []
             target.add_callback(done.append)
             while not done:
-                if self.peek() == float("inf"):
+                if not self._heap:
                     raise DeadlockError(
                         f"event {target!r} never triggered; simulation starved "
                         f"at t={self.now:.3f}µs"
@@ -462,13 +354,13 @@ class Simulator:
             target._defused = True
             raise target._value
         if until is None:
-            while self.peek() != float("inf"):
+            while self._heap:
                 self.step()
             return None
         horizon = float(until)
         if horizon < self.now:
             raise ValueError(f"cannot run until {horizon} < now {self.now}")
-        while self.peek() <= horizon:
+        while self._heap and self._heap[0][0] <= horizon:
             self.step()
         self.now = max(self.now, horizon)
         return None

@@ -1,0 +1,189 @@
+"""The kernel's hot-path machinery: lazy cancellation, pooled timeouts,
+batched dispatch, and the event counters they feed."""
+
+import pytest
+
+from repro.sim import SchedulingError, Simulator
+
+
+# -- empty-heap behaviour -------------------------------------------------------
+def test_step_on_empty_heap_raises_scheduling_error(sim):
+    # Used to escape as a bare IndexError from heapq.
+    with pytest.raises(SchedulingError, match="empty event heap"):
+        sim.step()
+
+
+def test_step_on_drained_heap_raises_scheduling_error(sim):
+    sim.timeout(1.0)
+    sim.run()
+    with pytest.raises(SchedulingError, match="empty event heap"):
+        sim.step()
+
+
+def test_step_with_only_cancelled_events_raises(sim):
+    sim.timeout(1.0).cancel()
+    with pytest.raises(SchedulingError, match="empty event heap"):
+        sim.step()
+    assert sim.events_cancelled == 1
+
+
+# -- lazy cancellation ----------------------------------------------------------
+def test_cancelled_timeout_never_dispatches(sim):
+    fired = []
+    t = sim.timeout(5.0)
+    t.add_callback(lambda ev: fired.append(sim.now))
+    t.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.events_cancelled == 1
+    assert sim.events_processed == 0
+
+
+def test_cancel_is_lazy_the_heap_entry_stays(sim):
+    t = sim.timeout(5.0)
+    t.cancel()
+    assert len(sim._heap) == 1          # discarded only when it reaches the top
+    assert sim.peek() == float("inf")   # ...which peek() forces
+    assert len(sim._heap) == 0
+
+
+def test_cancelled_event_does_not_stall_the_clock(sim):
+    log = []
+
+    def proc():
+        yield sim.timeout(10.0)
+        log.append(sim.now)
+
+    dead = sim.timeout(5.0)
+    dead.cancel()
+    sim.process(proc())
+    sim.run()
+    assert log == [10.0]
+
+
+def test_cancel_processed_event_rejected(sim):
+    t = sim.timeout(1.0)
+    sim.run()
+    with pytest.raises(SchedulingError, match="processed"):
+        t.cancel()
+
+
+def test_cancel_untriggered_event_guards_future_trigger(sim):
+    ev = sim.event()
+    fired = []
+    ev.add_callback(lambda e: fired.append(sim.now))
+    ev.cancel()
+    ev.succeed()
+    sim.run()
+    assert fired == []
+    assert ev.cancelled
+
+
+def test_counters_distinguish_dispatch_from_discard(sim):
+    keep = sim.timeout(1.0)
+    drop = sim.timeout(2.0)
+    drop.cancel()
+    sim.run()
+    assert keep.processed
+    assert sim.events_processed == 1
+    assert sim.events_cancelled == 1
+
+
+# -- pooled timeouts ------------------------------------------------------------
+def test_pooled_timeout_object_is_recycled(sim):
+    t1 = sim.timeout(1.0, pooled=True)
+    sim.run()
+    t2 = sim.timeout(1.0, pooled=True)
+    assert t2 is t1
+
+
+def test_unpooled_timeout_never_recycled(sim):
+    t1 = sim.timeout(1.0)
+    sim.run()
+    t2 = sim.timeout(1.0, pooled=True)
+    assert t2 is not t1
+
+
+def test_recycled_timeout_behaves_like_a_fresh_one(sim):
+    log = []
+
+    def proc():
+        v = yield sim.timeout(2.0, value="a", pooled=True)
+        log.append((sim.now, v))
+        v = yield sim.timeout(3.0, value="b", pooled=True)
+        log.append((sim.now, v))
+
+    sim.process(proc())
+    sim.run()
+    assert log == [(2.0, "a"), (5.0, "b")]
+
+
+def test_cancelled_pooled_timeout_returns_to_pool(sim):
+    t = sim.timeout(1.0, pooled=True)
+    t.cancel()
+    assert sim.peek() == float("inf")
+    assert sim.timeout(1.0, pooled=True) is t
+
+
+def test_pooled_timeout_rejects_negative_rearm(sim):
+    sim.timeout(1.0, pooled=True)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0, pooled=True)
+
+
+# -- batched dispatch (succeed_later) -------------------------------------------
+def test_succeed_later_delivers_at_the_delayed_instant(sim):
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        v = yield ev
+        got.append((sim.now, v))
+
+    sim.process(waiter())
+    ev.succeed_later(7.5, value=123)
+    sim.run()
+    assert got == [(7.5, 123)]
+
+
+def test_succeed_later_reads_triggered_immediately(sim):
+    # Documented sharp edge: the flag flips at trigger time, not delivery.
+    ev = sim.event()
+    ev.succeed_later(5.0)
+    assert ev.triggered
+    assert not ev.processed
+
+
+def test_succeed_later_rejects_negative_delay(sim):
+    with pytest.raises(ValueError):
+        sim.event().succeed_later(-0.1)
+
+
+def test_succeed_later_on_triggered_event_rejected(sim):
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SchedulingError):
+        ev.succeed_later(1.0)
+
+
+def test_succeed_later_costs_one_dispatch(sim):
+    # The classic pattern (timeout + succeed) costs two dispatched events;
+    # the batched form must cost exactly one, at the same delivery time.
+    classic = Simulator()
+    evc = classic.event()
+    classic.timeout(4.0).add_callback(lambda _e: evc.succeed("v"))
+    wake_c = []
+    evc.add_callback(lambda e: wake_c.append((classic.now, e.value)))
+    classic.run()
+
+    batched = Simulator()
+    evb = batched.event()
+    evb.succeed_later(4.0, value="v")
+    wake_b = []
+    evb.add_callback(lambda e: wake_b.append((batched.now, e.value)))
+    batched.run()
+
+    assert wake_b == wake_c == [(4.0, "v")]
+    assert classic.events_processed == 2
+    assert batched.events_processed == 1

@@ -1,0 +1,183 @@
+"""Schedule identity: the optimized kernel dispatches the exact same event
+sequence as the frozen pre-optimization snapshot.
+
+Each scenario is built twice — once on :mod:`repro.sim.engine`, once on
+:mod:`tests.sim.reference_engine` — with every dispatched event recorded as
+``(time, priority, class, name)``.  The sequences must match element for
+element: the hot-path pass is only allowed to change *how* the schedule is
+executed, never the schedule itself.
+"""
+
+import pytest
+
+from repro.sim import engine as optimized
+from tests.sim import reference_engine as reference
+
+
+def run_recorded(mod, scenario):
+    """Run ``scenario(mod, sim)`` recording every dispatched event."""
+    sim = mod.Simulator()
+    log = []
+    orig_step = sim.step
+
+    def step():
+        if hasattr(sim, "_discard_cancelled"):
+            sim._discard_cancelled()
+        at, prio, _seq, ev = sim._heap[0]
+        log.append((at, prio, type(ev).__name__, ev.name))
+        orig_step()
+
+    sim.step = step
+    scenario(mod, sim)
+    sim.run()
+    return log
+
+
+def assert_identical_schedules(scenario):
+    ref = run_recorded(reference, scenario)
+    opt = run_recorded(optimized, scenario)
+    assert opt == ref
+    assert ref, "scenario dispatched nothing — it tests nothing"
+
+
+# -- scenarios ------------------------------------------------------------------
+def scenario_interleaved_timeouts(mod, sim):
+    def ticker(period, label, count):
+        for _ in range(count):
+            yield sim.timeout(period, name=label)
+
+    sim.process(ticker(3.0, "slow", 4), name="slow")
+    sim.process(ticker(2.0, "fast", 6), name="fast")
+    sim.process(ticker(2.0, "twin", 6), name="twin")   # same instants as fast
+
+
+def scenario_event_chains(mod, sim):
+    ev1, ev2 = sim.event(name="e1"), sim.event(name="e2")
+
+    def firer():
+        yield sim.timeout(1.0, name="arm")
+        ev1.succeed("one")
+        yield sim.timeout(2.0, name="arm2")
+        ev2.succeed("two")
+
+    def waiter():
+        v = yield ev1
+        assert v == "one"
+        v = yield ev2
+        assert v == "two"
+        yield sim.timeout(0.5, name="tail")
+
+    sim.process(firer(), name="firer")
+    sim.process(waiter(), name="waiter")
+
+
+def scenario_combinators(mod, sim):
+    def leaf(d, label):
+        yield sim.timeout(d, name=label)
+        return label
+
+    def root():
+        vals = yield sim.all_of([sim.process(leaf(2, "a"), name="a"),
+                                 sim.process(leaf(1, "b"), name="b")])
+        assert vals == ["a", "b"]
+        idx, _v = yield sim.any_of([sim.timeout(5, name="lose"),
+                                    sim.timeout(3, name="win")])
+        assert idx == 1
+
+    sim.process(root(), name="root")
+
+
+def scenario_same_instant_priorities(mod, sim):
+    ev = sim.event(name="shared")
+
+    def early():
+        yield sim.timeout(4.0, name="t-early")
+
+    def waiter(tag):
+        yield ev
+        yield sim.timeout(1.0, name=f"after-{tag}")
+
+    def firer():
+        yield sim.timeout(4.0, name="t-fire")
+        ev.succeed()
+
+    sim.process(early(), name="early")
+    for tag in ("x", "y", "z"):
+        sim.process(waiter(tag), name=f"w{tag}")
+    sim.process(firer(), name="firer")
+
+
+def scenario_failure_propagation(mod, sim):
+    def crasher():
+        yield sim.timeout(1.0, name="doomed")
+        raise RuntimeError("boom")
+
+    def supervisor():
+        p = sim.process(crasher(), name="crasher")
+        with pytest.raises(RuntimeError):
+            yield p
+        yield sim.timeout(1.0, name="recovered")
+
+    sim.process(supervisor(), name="supervisor")
+
+
+@pytest.mark.parametrize("scenario", [
+    scenario_interleaved_timeouts,
+    scenario_event_chains,
+    scenario_combinators,
+    scenario_same_instant_priorities,
+    scenario_failure_propagation,
+], ids=lambda s: s.__name__)
+def test_dispatch_schedule_identical(scenario):
+    assert_identical_schedules(scenario)
+
+
+# -- equivalence of the batched constructs --------------------------------------
+def test_succeed_later_matches_reference_two_event_pattern():
+    """succeed_later(d) must deliver at the exact instant the reference
+    kernel's timeout-then-succeed pattern delivers."""
+    ref_sim = reference.Simulator()
+    ref_ev = ref_sim.event(name="done")
+    ref_log = []
+
+    def ref_complete():
+        yield ref_sim.timeout(2.25, name="rxov")
+        ref_ev.succeed(("meta", 42))
+
+    def ref_wait():
+        v = yield ref_ev
+        ref_log.append((ref_sim.now, v))
+
+    ref_sim.process(ref_complete(), name="complete")
+    ref_sim.process(ref_wait(), name="wait")
+    ref_sim.run()
+
+    opt_sim = optimized.Simulator()
+    opt_ev = opt_sim.event(name="done")
+    opt_log = []
+
+    def opt_wait():
+        v = yield opt_ev
+        opt_log.append((opt_sim.now, v))
+
+    opt_sim.process(opt_wait(), name="wait")
+    opt_ev.succeed_later(2.25, value=("meta", 42))
+    opt_sim.run()
+
+    assert opt_log == ref_log == [(2.25, ("meta", 42))]
+
+
+def test_pooled_timeouts_fire_exactly_like_fresh_ones():
+    def scenario(mod, sim):
+        pooled = mod is optimized
+
+        def proc():
+            for i in range(5):
+                yield sim.timeout(1.5, name="w") if not pooled \
+                    else sim.timeout(1.5, name="w", pooled=True)
+
+        sim.process(proc(), name="p")
+
+    ref = run_recorded(reference, scenario)
+    opt = run_recorded(optimized, scenario)
+    assert opt == ref
