@@ -19,7 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..hw.fabric import FRAGMENT_HEADER_BYTES
-from ..hw.params import GatewayParams, NodeParams, ProtocolParams
+from ..hw.params import (GatewayParams, NodeParams, PipelineConfig,
+                         ProtocolParams)
 from ..sim.fluid import DMA, PIO
 
 __all__ = ["fragment_time", "PipelinePrediction", "predict_forwarding"]
@@ -45,16 +46,30 @@ class PipelinePrediction:
 def predict_forwarding(in_proto: ProtocolParams, out_proto: ProtocolParams,
                        packet: int,
                        gateway: GatewayParams | None = None,
-                       node: NodeParams | None = None) -> PipelinePrediction:
+                       node: NodeParams | None = None,
+                       pipeline: PipelineConfig | None = None,
+                       ) -> PipelinePrediction:
     """Asymptotic forwarding bandwidth through one gateway.
 
     Models: full-duplex sharing of the gateway PCI bus between the receive
     and send flows (fair split of the duplex capacity, capped at each
     protocol's peak), plus the PIO-under-DMA slowdown while the receive
     flow is active (§3.4.1), plus the per-switch software overhead.
+
+    The steady-state period depends on the pipeline discipline
+    (``pipeline`` overrides the gateway's resolved config):
+
+    * lockstep (the paper's depth-2 buffer exchange): both threads meet
+      every step, so ``max(recv, send) + switch_overhead``;
+    * credit pipeline with >= 2 credits: the switch overhead happens on the
+      receive thread while the sender streams, so
+      ``max(recv + switch_overhead, send)``;
+    * a single buffer/credit (store-and-forward per fragment):
+      ``recv + switch_overhead + send``.
     """
     gateway = gateway or GatewayParams()
     node = node or NodeParams()
+    pipe = pipeline if pipeline is not None else gateway.resolved_pipeline
     cap = node.pci.capacity
     wire = packet + FRAGMENT_HEADER_BYTES
 
@@ -78,7 +93,12 @@ def predict_forwarding(in_proto: ProtocolParams, out_proto: ProtocolParams,
               + contended_bytes / send_contended
               + (rest / send_alone if rest > 0 else 0.0))
 
-    period = max(t_recv, t_send) + gateway.switch_overhead
+    if pipe.depth == 1 or pipe.effective_credits == 1:
+        period = t_recv + gateway.switch_overhead + t_send
+    elif pipe.is_lockstep:
+        period = max(t_recv, t_send) + gateway.switch_overhead
+    else:
+        period = max(t_recv + gateway.switch_overhead, t_send)
     return PipelinePrediction(recv_us=t_recv, send_us=t_send,
                               period_us=period,
                               bandwidth=packet / period)

@@ -22,7 +22,8 @@ from ..madeleine.channel import RealChannel
 from ..madeleine.session import Session
 from ..madeleine.vchannel import VirtualChannel
 
-__all__ = ["PingResult", "measure_ack_latency", "one_way_ping", "PingHarness"]
+__all__ = ["PingResult", "measure_ack_latency", "one_way_ping", "PingHarness",
+           "probe_protocol_rates"]
 
 _ACK_BYTES = 4
 
@@ -102,6 +103,41 @@ def one_way_ping(session: Session, vch: VirtualChannel,
                       ack_us=ack_latency)
 
 
+def probe_protocol_rates(protocols, size: int = 1 << 20) -> dict[str, float]:
+    """Short online probe phase for the adaptive fragment tuner: measure
+    each protocol's achieved raw one-way rate (bytes/µs) with one direct
+    transfer in a pristine world.  The result folds end-to-end software
+    overheads into the rate, refining the calibrated ``host_peak``; feed it
+    to :meth:`VirtualChannel.calibrate_rates` or
+    ``PingHarness(rate_overrides=...)``.
+    """
+    from ..hw import build_world
+    rates: dict[str, float] = {}
+    for proto in protocols:
+        world = build_world({"a": [proto], "b": [proto]})
+        session = Session(world)
+        ch = session.channel(proto, ["a", "b"])
+        data = np.zeros(size, dtype=np.uint8)
+        out: dict[str, float] = {}
+
+        def snd(ch=ch):
+            m = ch.endpoint(0).begin_packing(1)
+            yield m.pack(data)
+            yield m.end_packing()
+
+        def rcv(ch=ch, out=out):
+            inc = yield ch.endpoint(1).begin_unpacking()
+            _ev, _b = inc.unpack(size)
+            yield inc.end_unpacking()
+            out["t"] = session.now
+
+        session.spawn(snd())
+        session.spawn(rcv())
+        session.run()
+        rates[proto] = size / out["t"]
+    return rates
+
+
 class PingHarness:
     """Builds a fresh paper-style testbed per measurement point.
 
@@ -111,12 +147,15 @@ class PingHarness:
 
     def __init__(self, packet_size: int = 16 << 10,
                  gateway_params=None, protocols=("myrinet", "sci"),
-                 node_params=None, header_batching: bool = False) -> None:
+                 node_params=None, header_batching: bool = False,
+                 pipeline=None, rate_overrides=None) -> None:
         self.packet_size = packet_size
         self.gateway_params = gateway_params
         self.protocols = protocols
         self.node_params = node_params
         self.header_batching = header_batching
+        self.pipeline = pipeline
+        self.rate_overrides = rate_overrides
 
     def build(self):
         from ..hw import build_world
@@ -132,7 +171,10 @@ class PingHarness:
         vch = session.virtual_channel([ch_a, ch_b],
                                       packet_size=self.packet_size,
                                       gateway_params=self.gateway_params,
-                                      header_batching=self.header_batching)
+                                      header_batching=self.header_batching,
+                                      pipeline=self.pipeline)
+        if self.rate_overrides:
+            vch.calibrate_rates(self.rate_overrides)
         ack = session.channel("fast_ethernet", ["a0", "b0"])
         return world, session, vch, ack
 

@@ -19,7 +19,11 @@ Two classes of check:
   the hot-path optimisations must keep this at least ``min_event_reduction``
   below the pre-optimisation kernel (the committed ``pre_pr3`` reference),
   so an accidental de-optimisation fails CI even though it would not move
-  any simulated timestamp.
+  any simulated timestamp;
+* **feature floors** (the baseline's ``floors``) — minimum improvements a
+  feature must keep delivering: the depth-4 tuned pipeline's bandwidth gain
+  over the depth-2/static-MTU paper configuration, and header batching's
+  wire-record reduction on a many-small-buffers message.
 
 Refresh the baseline after an intentional change with
 ``repro bench --regress --update-baseline`` and commit the result.
@@ -29,6 +33,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import zlib
 from typing import Optional
 
 import numpy as np
@@ -37,12 +42,24 @@ from .ping import PingHarness
 from .sweep import figure_sweep
 
 __all__ = ["run_regress", "compare_to_baseline", "format_report",
-           "DEFAULT_BASELINE", "DEFAULT_OUT", "DEFAULT_TOLERANCE"]
+           "DEFAULT_BASELINE", "DEFAULT_OUT", "DEFAULT_TOLERANCE",
+           "DEFAULT_FLOORS"]
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
 DEFAULT_BASELINE = _REPO_ROOT / "benchmarks" / "baselines" / "bench_regress.json"
 DEFAULT_OUT = _REPO_ROOT / "BENCH_PR3.json"
 DEFAULT_TOLERANCE = 0.10
+
+#: feature floors enforced by :func:`compare_to_baseline` (overridable by
+#: the committed baseline's ``floors`` mapping).
+DEFAULT_FLOORS = {
+    # depth-4 + tuned fragments must beat depth-2/static by >= 10% where
+    # the swap overhead dominates (the tentpole acceptance criterion).
+    "pipeline_depth4_gain": 0.10,
+    # header batching must keep cutting wire records on a message of many
+    # sub-MTU buffers (its real benefit; invisible on fig5, see docs).
+    "batching_record_reduction": 0.25,
+}
 
 #: fig5/fig8 use the paper's balanced configuration: 2 MB over 64 KB paquets.
 _PACKET = 64 << 10
@@ -60,10 +77,15 @@ _LATENCY_SIZES = (8 << 10, 4 << 20)
 def _one_transfer(header_batching: bool = False):
     """The figure 5 scenario: 2 MB from b0 (SCI) to a0 (Myrinet)."""
     from ..analysis import extract_timeline, pipeline_stats
+    from ..hw.fabric import FRAGMENT_HEADER_BYTES
 
     harness = PingHarness(packet_size=_PACKET,
                           header_batching=header_batching)
     world, session, vch, _ack = harness.build()
+    # Metrics create no simulator events, so enabling them is
+    # schedule-preserving; they expose the wire-record count header
+    # batching is actually about.
+    world.telemetry.metrics.enable()
     data = np.zeros(_MESSAGE, dtype=np.uint8)
     done = {}
 
@@ -84,6 +106,7 @@ def _one_transfer(header_batching: bool = False):
     stats = pipeline_stats(extract_timeline(world.trace))
     sim = session.sim
     mb = _MESSAGE / (1 << 20)
+    records = world.telemetry.metrics.total("wire.fragments")
     return {
         "elapsed_us": done["t"],
         "bandwidth_mbs": _MESSAGE / done["t"],
@@ -93,6 +116,10 @@ def _one_transfer(header_batching: bool = False):
         "fragments": float(stats.fragments),
         "mean_period_us": stats.mean_period_us,
         "overlap_fraction": stats.overlap_fraction,
+        # Wire records over both hops (announces, descriptors/gtmh,
+        # fragments, terminators) and the 16-byte header cost they carry.
+        "wire_records": float(records),
+        "wire_header_bytes": float(records * FRAGMENT_HEADER_BYTES),
     }
 
 
@@ -174,28 +201,136 @@ def _scenario_fig8() -> dict:
     }
 
 
+#: the pipeline scenario runs where the swap overhead dominates: 8 KB
+#: paquets make the 40 µs buffer switch ≈ 20% of the lockstep period.
+_PIPELINE_PACKET = 8 << 10
+
+
+def _pipeline_point(pipeline) -> float:
+    harness = PingHarness(packet_size=_PIPELINE_PACKET, pipeline=pipeline)
+    return harness.measure(_MESSAGE, direction="b0->a0").bandwidth
+
+
+def _scenario_pipeline() -> dict:
+    """Depth-4 credit pipeline + adaptive fragment tuner vs the paper's
+    depth-2 lockstep with static MTU, on the fig5 topology."""
+    from ..hw.params import PipelineConfig
+
+    depth2 = _pipeline_point(None)   # paper default: depth-2 lockstep
+    depth4 = _pipeline_point(PipelineConfig(depth=4))
+    tuned_cfg = PipelineConfig(depth=4, adaptive_mtu=True)
+    depth4_tuned = _pipeline_point(tuned_cfg)
+    harness = PingHarness(packet_size=_PIPELINE_PACKET, pipeline=tuned_cfg)
+    world, session, vch, _ack = harness.build()
+    route = vch.routes.route(session.rank("b0"), session.rank("a0"))
+    return {
+        "depth2_static_mbs": depth2,
+        "depth4_static_mbs": depth4,
+        "depth4_tuned_mbs": depth4_tuned,
+        "tuned_fragment_kb": float(vch.effective_mtu(route) >> 10),
+        "depth4_gain": depth4_tuned / depth2 - 1.0,
+    }
+
+
+def _many_buffer_transfer(header_batching: bool):
+    """One message of many sub-MTU buffers b0 -> a0 (the traffic shape
+    where header batching actually removes wire records; on fig5's single
+    2 MB buffer the shortened head fragment pushes a tail fragment and the
+    record count is unchanged)."""
+    harness = PingHarness(packet_size=_PACKET,
+                          header_batching=header_batching)
+    world, session, vch, _ack = harness.build()
+    world.telemetry.metrics.enable()
+    bufs = [np.zeros(8 << 10, dtype=np.uint8) for _ in range(32)]
+    done = {}
+
+    def snd():
+        m = vch.endpoint(session.rank("b0")).begin_packing(session.rank("a0"))
+        for b in bufs:
+            yield m.pack(b)
+        yield m.end_packing()
+
+    def rcv():
+        inc = yield vch.endpoint(session.rank("a0")).begin_unpacking()
+        for b in bufs:
+            _ev, _b = inc.unpack(len(b))
+        yield inc.end_unpacking()
+        done["t"] = session.now
+
+    session.spawn(snd())
+    session.spawn(rcv())
+    session.run()
+    records = world.telemetry.metrics.total("wire.fragments")
+    return done["t"], float(records)
+
+
+def _scenario_batching() -> dict:
+    """Header batching's measurable benefit: wire records saved on a
+    32 × 8 KB-buffer message, asserted via the ``floors`` guard."""
+    from ..hw.fabric import FRAGMENT_HEADER_BYTES
+
+    plain_us, plain_records = _many_buffer_transfer(False)
+    batched_us, batched_records = _many_buffer_transfer(True)
+    return {
+        "plain_elapsed_us": plain_us,
+        "batched_elapsed_us": batched_us,
+        "plain_wire_records": plain_records,
+        "batched_wire_records": batched_records,
+        "plain_header_bytes": plain_records * FRAGMENT_HEADER_BYTES,
+        "batched_header_bytes": batched_records * FRAGMENT_HEADER_BYTES,
+        "record_reduction": 1.0 - batched_records / plain_records,
+    }
+
+
 _SCENARIOS = {
     "fig5": _scenario_fig5,
     "fig5_batched": _scenario_fig5_batched,
     "fig8": _scenario_fig8,
     "latency": _scenario_latency,
+    "pipeline": _scenario_pipeline,
+    "batching": _scenario_batching,
     "fig6": _scenario_fig6,
     "fig7": _scenario_fig7,
 }
 
 #: --quick keeps the cheap single-transfer scenarios (the sweeps dominate
 #: the runtime); comparison then covers only the scenarios that ran.
-_QUICK_SCENARIOS = ("fig5", "fig5_batched", "fig8", "latency")
+_QUICK_SCENARIOS = ("fig5", "fig5_batched", "fig8", "latency", "pipeline",
+                    "batching")
 
 
-def run_regress(quick: bool = False, progress=None) -> dict:
-    """Run the suite; returns ``{scenario: {metric: value}}``."""
+def _run_scenario(name: str):
+    """Module-level (and picklable) scenario runner with a deterministic
+    per-scenario seed, so ``--jobs`` pools reproduce serial runs exactly."""
+    import random
+    seed = zlib.crc32(name.encode())
+    random.seed(seed)
+    np.random.seed(seed & 0xFFFFFFFF)
+    return name, _SCENARIOS[name]()
+
+
+def run_regress(quick: bool = False, progress=None,
+                jobs: Optional[int] = None) -> dict:
+    """Run the suite; returns ``{scenario: {metric: value}}``.
+
+    ``jobs > 1`` spreads the scenarios over a ``multiprocessing`` pool;
+    every scenario builds its own pristine world and seeds its RNGs from
+    its name, so the results are identical to a serial run.
+    """
     names = _QUICK_SCENARIOS if quick else tuple(_SCENARIOS)
     results = {}
+    if jobs and jobs > 1:
+        import multiprocessing as mp
+        with mp.Pool(min(jobs, len(names))) as pool:
+            for name, result in pool.imap_unordered(_run_scenario, names):
+                if progress is not None:
+                    progress(name)
+                results[name] = result
+        return {name: results[name] for name in names}
     for name in names:
         if progress is not None:
             progress(name)
-        results[name] = _SCENARIOS[name]()
+        results[name] = _run_scenario(name)[1]
     return results
 
 
@@ -236,6 +371,23 @@ def compare_to_baseline(current: dict, baseline: dict,
                 f"fig5.events_per_mb: {cur:.1f} is only {reduction:.1%} "
                 f"below the pre-optimisation kernel ({ref:.1f}); the "
                 f"hot-path pass guarantees >= {floor:.0%}")
+    floors = baseline.get("floors", {})
+    gain_floor = floors.get("pipeline_depth4_gain")
+    if gain_floor is not None and "pipeline" in current:
+        gain = current["pipeline"].get("depth4_gain", 0.0)
+        if gain < gain_floor - 1e-9:
+            failures.append(
+                f"pipeline.depth4_gain: {gain:.1%} is below the committed "
+                f"floor ({gain_floor:.0%}) — the depth-4 tuned pipeline "
+                f"stopped beating depth-2/static-MTU")
+    red_floor = floors.get("batching_record_reduction")
+    if red_floor is not None and "batching" in current:
+        red = current["batching"].get("record_reduction", 0.0)
+        if red < red_floor - 1e-9:
+            failures.append(
+                f"batching.record_reduction: {red:.1%} is below the "
+                f"committed floor ({red_floor:.0%}) — header batching "
+                f"stopped removing wire records")
     return failures
 
 
@@ -307,6 +459,9 @@ def write_baseline(current: dict, path: pathlib.Path,
         # it is a historical measurement, not something a rerun can produce.
         "pre_pr3": pre_pr3 if pre_pr3 is not None
         else existing.get("pre_pr3", {}),
+        # Feature floors survive refreshes too; they encode commitments, not
+        # measurements.
+        "floors": {**DEFAULT_FLOORS, **existing.get("floors", {})},
         "scenarios": {**existing.get("scenarios", {}), **current},
     }
     path.parent.mkdir(parents=True, exist_ok=True)

@@ -5,11 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
-from ..hw.params import GatewayParams
-from .ping import PingHarness, PingResult
+from ..hw.params import GatewayParams, PipelineConfig
+from .ping import PingHarness, PingResult, probe_protocol_rates
 
-__all__ = ["Series", "bandwidth_sweep", "figure_sweep",
-           "PAPER_PACKET_SIZES", "PAPER_MESSAGE_SIZES"]
+__all__ = ["Series", "bandwidth_sweep", "figure_sweep", "pipeline_sweep",
+           "PAPER_PACKET_SIZES", "PAPER_MESSAGE_SIZES",
+           "PIPELINE_SWEEP_DEPTHS", "PIPELINE_SWEEP_FRAGMENTS"]
 
 #: the paper sweeps paquet sizes 8 KB .. 128 KB (Figures 6 and 7)
 PAPER_PACKET_SIZES = tuple((1 << k) << 10 for k in range(3, 8))
@@ -51,6 +52,59 @@ def bandwidth_sweep(measure: Callable[[int], PingResult],
         result = measure(size)
         series.add(size, result.bandwidth)
     return series
+
+
+#: depth × fragment grid of ``repro bench --sweep-pipeline``.
+PIPELINE_SWEEP_DEPTHS = (1, 2, 4, 8)
+PIPELINE_SWEEP_FRAGMENTS = tuple((1 << k) << 10 for k in (3, 4, 5, 6, 7))
+
+
+def _pipeline_cell(cell):
+    """One (depth, fragment) measurement on the fig5 topology.
+
+    Module-level (and tuple-argumented) so a ``multiprocessing`` pool can
+    pickle it; ``fragment=None`` runs the adaptive tuner instead of a
+    static fragment size and also reports the size it chose.
+    """
+    depth, fragment, message, direction, rates = cell
+    adaptive = fragment is None
+    pipeline = PipelineConfig(depth=depth, adaptive_mtu=adaptive)
+    harness = PingHarness(packet_size=fragment or 8 << 10,
+                          pipeline=pipeline, rate_overrides=rates)
+    result = harness.measure(message, direction=direction)
+    if adaptive:
+        world, session, vch, _ack = harness.build()
+        src, dst = ((session.rank("b0"), session.rank("a0"))
+                    if direction == "b0->a0"
+                    else (session.rank("a0"), session.rank("b0")))
+        fragment = vch.effective_mtu(vch.routes.route(src, dst))
+    return depth, fragment, adaptive, result.bandwidth
+
+
+def pipeline_sweep(depths: Sequence[int] = PIPELINE_SWEEP_DEPTHS,
+                   fragments: Sequence[int] = PIPELINE_SWEEP_FRAGMENTS,
+                   message: int = 2 << 20, direction: str = "b0->a0",
+                   probe: bool = False,
+                   map_fn: Optional[Callable] = None) -> dict:
+    """Sweep pipeline depth × fragment size on the fig5 topology, plus one
+    adaptively tuned point per depth.  ``probe=True`` runs the online
+    rate-probe phase and feeds the measured rates into the tuner;
+    ``map_fn`` substitutes for the builtin ``map`` (a multiprocessing
+    pool's ``imap``) to spread the cells over worker processes."""
+    rates = probe_protocol_rates(("myrinet", "sci")) if probe else None
+    cells = [(d, f, message, direction, rates)
+             for d in depths for f in [*fragments, None]]
+    grid: dict[str, dict[str, float]] = {}
+    tuned: dict[str, dict[str, float]] = {}
+    for depth, fragment, adaptive, bw in (map_fn or map)(_pipeline_cell,
+                                                         cells):
+        if adaptive:
+            tuned[f"depth{depth}"] = {"fragment_kb": fragment >> 10,
+                                      "mbs": bw}
+        else:
+            grid.setdefault(f"depth{depth}", {})[f"{fragment >> 10}k"] = bw
+    return {"direction": direction, "message": message,
+            "probe": bool(probe), "grid": grid, "tuned": tuned}
 
 
 def figure_sweep(direction: str,

@@ -205,19 +205,66 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _sweep_pipeline(args) -> int:
+    import json
+    import pathlib
+
+    from .bench import pipeline_sweep
+
+    map_fn = None
+    pool = None
+    if args.jobs and args.jobs > 1:
+        import multiprocessing as mp
+        pool = mp.Pool(args.jobs)
+        map_fn = pool.imap
+    try:
+        result = pipeline_sweep(probe=args.probe, map_fn=map_fn)
+    finally:
+        if pool is not None:
+            pool.close()
+            pool.join()
+    frag_keys = sorted({k for row in result["grid"].values() for k in row},
+                       key=lambda k: int(k[:-1]))
+    print(f"forwarded bandwidth (MB/s), {result['direction']}, "
+          f"{result['message'] >> 20} MB message"
+          + (", probed rates" if result["probe"] else "") + ":\n")
+    header = f"{'depth':>8s}" + "".join(f"{k:>9s}" for k in frag_keys) \
+        + f"{'tuned':>14s}"
+    print(header)
+    print("-" * len(header))
+    for dkey in sorted(result["grid"], key=lambda k: int(k[5:])):
+        row = result["grid"][dkey]
+        cells = "".join(f"{row[k]:9.1f}" for k in frag_keys)
+        t = result["tuned"].get(dkey)
+        tuned = (f"{t['mbs']:8.1f}@{t['fragment_kb']:.0f}k" if t else "")
+        print(f"{dkey:>8s}{cells}{tuned:>14s}")
+    print("\nthe knee: where a column stops growing down a row, extra depth "
+          "stops paying; 'tuned' is the fragment size the adaptive tuner "
+          "picked for that depth (see docs/performance.md)")
+    if args.sweep_out:
+        path = pathlib.Path(args.sweep_out)
+        path.write_text(json.dumps({"suite": "sweep-pipeline", **result},
+                                   indent=1, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"\nwrote {path}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     import pathlib
 
     from .bench import regress as rg
 
+    if args.sweep_pipeline:
+        return _sweep_pipeline(args)
     if not args.regress and not args.update_baseline:
-        print("nothing to do: pass --regress (and/or --update-baseline)",
-              file=sys.stderr)
+        print("nothing to do: pass --regress, --update-baseline and/or "
+              "--sweep-pipeline", file=sys.stderr)
         return 2
     baseline_path = pathlib.Path(args.baseline)
     out_path = pathlib.Path(args.out)
     current = rg.run_regress(
-        quick=args.quick,
+        quick=args.quick, jobs=args.jobs,
         progress=lambda name: print(f"  running {name} ...", flush=True))
     if args.update_baseline:
         rg.write_baseline(current, baseline_path,
@@ -323,6 +370,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="results JSON output path (BENCH_PR3.json)")
     p.add_argument("--tolerance", type=float, default=None,
                    help="override the baseline's tolerance band")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="run scenarios in a multiprocessing pool of N "
+                        "workers (deterministic per-scenario seeds)")
+    p.add_argument("--sweep-pipeline", action="store_true",
+                   help="sweep gateway pipeline depth x fragment size on "
+                        "the fig5 topology (plus the adaptive tuner)")
+    p.add_argument("--probe", action="store_true",
+                   help="with --sweep-pipeline: run the online rate probe "
+                        "and feed measured rates to the tuner")
+    p.add_argument("--sweep-out", default="",
+                   help="with --sweep-pipeline: also write the sweep "
+                        "table as JSON to this path")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(

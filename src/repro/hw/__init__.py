@@ -11,7 +11,8 @@ from .fabric import FRAGMENT_HEADER_BYTES, Fabric, NIC, TransferError
 from .node import Node
 from .params import (DEFAULT_GATEWAY, DEFAULT_NODE, DEFAULT_PCI,
                      FAST_ETHERNET, GIGABIT_TCP, MYRINET, PROTOCOLS, SBP, SCI,
-                     GatewayParams, NodeParams, PCIParams, ProtocolParams,
+                     GatewayParams, NodeParams, PCIParams, PipelineConfig,
+                     ProtocolParams,
                      register_protocol, scaled)
 from .topology import (ClusterSpec, GatewayLink, World,
                        build_cluster_of_clusters, build_world)
@@ -21,7 +22,8 @@ __all__ = [
     "Node",
     "DEFAULT_GATEWAY", "DEFAULT_NODE", "DEFAULT_PCI",
     "FAST_ETHERNET", "GIGABIT_TCP", "MYRINET", "PROTOCOLS", "SBP", "SCI",
-    "GatewayParams", "NodeParams", "PCIParams", "ProtocolParams",
+    "GatewayParams", "NodeParams", "PCIParams", "PipelineConfig",
+    "ProtocolParams",
     "register_protocol", "scaled",
     "ClusterSpec", "GatewayLink", "World",
     "build_cluster_of_clusters", "build_world",

@@ -28,6 +28,7 @@ from ..sim.fluid import DMA, PIO
 
 __all__ = [
     "PCIParams", "ProtocolParams", "NodeParams", "GatewayParams",
+    "PipelineConfig",
     "MYRINET", "SCI", "FAST_ETHERNET", "GIGABIT_TCP", "SBP",
     "PROTOCOLS", "DEFAULT_PCI", "DEFAULT_NODE", "DEFAULT_GATEWAY",
 ]
@@ -166,20 +167,77 @@ class NodeParams:
 
 
 @dataclass(frozen=True)
+class PipelineConfig:
+    """Generalized gateway forwarding pipeline.
+
+    The paper hardwires two staging buffers per direction; this config
+    generalizes it to an N-deep staging-buffer ring with credit-based flow
+    control: the receive thread advances only while it holds a credit, the
+    send thread returns the credit when the retransmit completes.  The
+    default (``depth=2``, ``lockstep`` auto) reduces exactly to the paper's
+    lockstep double-buffer schedule.
+    """
+
+    #: staging buffers per direction (the paper uses 2).
+    depth: int = 2
+    #: outstanding-item credits; ``None`` means one credit per buffer.
+    #: ``credits=1`` degenerates to store-and-forward per fragment.
+    credits: int | None = None
+    #: ``None`` (auto): depth-2 pipelines run the paper's lockstep
+    #: buffer-exchange schedule, deeper ones the credit pipeline.  ``False``
+    #: forces a depth-2 pipeline through the credit path (an ablation);
+    #: ``True`` is only meaningful at depth 2.
+    lockstep: bool | None = None
+    #: pick the per-route fragment size from the analytic pipeline model
+    #: (:func:`repro.routing.tune_fragment_size`) instead of the static
+    #: ``min(packet_size, per-hop MTU)`` negotiation.  The wire-format MTU
+    #: stays the upper bound, so headers and gateways need no format change.
+    adaptive_mtu: bool = False
+    #: knee tolerance of the tuner: the smallest fragment size whose
+    #: predicted bandwidth is within ``tuner_slack`` of the best is chosen.
+    tuner_slack: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError(f"pipeline depth must be >= 1, got {self.depth}")
+        if self.credits is not None and not 1 <= self.credits <= self.depth:
+            raise ValueError(
+                f"credits must be in [1, depth={self.depth}], "
+                f"got {self.credits}")
+        if self.lockstep and self.depth != 2:
+            raise ValueError("lockstep is inherently a two-buffer scheme")
+        if not 0.0 <= self.tuner_slack < 1.0:
+            raise ValueError(f"tuner_slack must be in [0, 1), "
+                             f"got {self.tuner_slack}")
+
+    @property
+    def effective_credits(self) -> int:
+        return self.depth if self.credits is None else self.credits
+
+    @property
+    def is_lockstep(self) -> bool:
+        return self.depth == 2 if self.lockstep is None else self.lockstep
+
+
+@dataclass(frozen=True)
 class GatewayParams:
     """Forwarding-pipeline parameters (§2.2.2, §3.3.1)."""
 
     #: software overhead per buffer switch in the double-buffer pipeline.
     switch_overhead: float = 40.0
     #: number of pipeline buffers per direction (the paper uses 2).
+    #: Superseded by ``pipeline``; kept for existing call sites.
     pipeline_depth: int = 2
     #: True (the paper's design): the two forwarding threads exchange their
     #: buffers at a synchronization point each step, so the pipeline period
     #: is max(recv, send) + switch_overhead exactly (Figure 5).  False: a
     #: decoupled bounded-queue pipeline of ``pipeline_depth`` buffers that
     #: can hide the switch overhead behind the longer step (an ablation —
-    #: not what the paper built).
+    #: not what the paper built).  Superseded by ``pipeline``.
     lockstep: bool = True
+    #: generalized pipeline config; when set it overrides ``pipeline_depth``
+    #: and ``lockstep`` above.
+    pipeline: PipelineConfig | None = None
     #: the §4 future-work "bandwidth control mechanism ... to regulate the
     #: incoming communication flow on gateways": cap the rate (bytes/µs) at
     #: which a forwarding worker accepts fragments.  ``None`` = unregulated.
@@ -190,6 +248,18 @@ class GatewayParams:
     #: set it whenever a fault plan is armed so dropped fragments can never
     #: wedge a gateway.
     stall_timeout: float | None = None
+
+    @property
+    def resolved_pipeline(self) -> PipelineConfig:
+        """The effective pipeline config, mapping the legacy
+        ``pipeline_depth``/``lockstep`` pair when ``pipeline`` is unset.
+        A legacy non-depth-2 "lockstep" request silently ran the decoupled
+        queue; the mapping preserves that."""
+        if self.pipeline is not None:
+            return self.pipeline
+        return PipelineConfig(
+            depth=self.pipeline_depth,
+            lockstep=self.lockstep and self.pipeline_depth == 2)
 
 
 DEFAULT_PCI = PCIParams()

@@ -8,16 +8,20 @@ runs two cooperating threads per message:
 * the **send thread** retransmits each item toward the next hop and recycles
   the buffer.
 
-Two pipeline disciplines are implemented (``GatewayParams.lockstep``):
+Two pipeline disciplines are implemented
+(:class:`~repro.hw.params.PipelineConfig`, legacy ``GatewayParams.lockstep``):
 
 * **lockstep** (default — the paper's design): the threads share two buffers
   and exchange them at a synchronization point each step, paying the
   buffer-switch software overhead (≈ 40 µs measured in §3.3.1) *on the
   critical path*: steady-state period = max(recv, send) + overhead, exactly
   the Figure 5 model;
-* **decoupled** (ablation): a bounded queue of ``pipeline_depth`` buffers
-  lets the receive thread run ahead, hiding the switch overhead behind the
-  longer step.
+* **credit pipeline** (the N-deep generalization): a staging-buffer ring of
+  ``depth`` blocks per direction with credit-based flow control — the
+  receive thread advances only while it holds one of ``credits`` credits,
+  the send thread returns the credit when the retransmit completes.  The
+  switch overhead moves off the critical path whenever the send step is the
+  longer one; one credit degenerates to store-and-forward per fragment.
 
 Staging-buffer choice implements the zero-copy rules of §2.3:
 
@@ -39,6 +43,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..hw.params import GatewayParams
 from ..memory import Buffer, StaticBufferPool
+from ..memory.pool import PoolExhausted
 from ..routing import NoRouteError
 from ..sim import Barrier, GatewayCrashed, Queue, Semaphore
 from .wire import DESC_BYTES, MODE_GTM, Announce, decode_descriptor
@@ -82,6 +87,7 @@ class ForwardingWorker:
         self.gw_rank = gw_rank
         self.in_channel = in_channel
         self.params = params or GatewayParams()
+        self.pipeline = self.params.resolved_pipeline
         self.sim = in_channel.sim
         self.node = in_channel.world.nodes[gw_rank]
         self.trace = in_channel.fabric.trace
@@ -94,12 +100,24 @@ class ForwardingWorker:
         self._m_abandoned = m.counter("gateway.messages_abandoned",
                                       gw=gw_rank)
         self._m_items = m.counter("gateway.items_forwarded", gw=gw_rank)
-        #: staged items currently inside this gateway's pipeline (all
-        #: workers of one rank share the gauge); its ``hwm`` is the pipeline
+        #: staged items currently inside this direction's pipeline (one
+        #: series per rank × incoming channel); its ``hwm`` is the pipeline
         #: occupancy the paper's double-buffer argument is about.
-        self._g_occupancy = m.gauge("gateway.occupancy", gw=gw_rank)
+        self._g_occupancy = m.gauge("gateway.occupancy", gw=gw_rank,
+                                    channel=in_channel.id)
         self._h_swap = m.histogram("gateway.swap_us", gw=gw_rank)
-        self._free_dynamic: list[Buffer] = []
+        #: receive-thread waits for a returned credit (the send side is the
+        #: pipeline bottleneck at that instant).
+        self._m_credit_stalls = m.counter("gateway.credit_stalls",
+                                          gw=gw_rank, channel=in_channel.id)
+        #: staging-ring blocks in use at each dynamic-staging acquire.
+        self._h_ring = m.histogram("gateway.ring_depth",
+                                   bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+                                   gw=gw_rank, channel=in_channel.id)
+        #: per-direction staging-buffer ring for dynamic×dynamic routes,
+        #: lazily sized to the first message's MTU (recreated if a later
+        #: route negotiates a larger one).
+        self._ring: Optional[StaticBufferPool] = None
         self._seq = itertools.count()
         self._ingress_next = 0.0   # earliest instant the regulator allows
         self.messages_forwarded = 0
@@ -122,6 +140,12 @@ class ForwardingWorker:
         if self._retired:
             return
         self._retired = True
+        if self._ring is not None:
+            # A receive thread blocked on the private staging ring would
+            # otherwise never observe the crash (the fault injector only
+            # fails the protocol pools).
+            self._ring.fail_waiters(
+                GatewayCrashed(f"gateway {self.gw_rank} retired"))
         if not self._abort_ev.triggered:
             self._abort_ev.succeed()
 
@@ -151,12 +175,30 @@ class ForwardingWorker:
         elif out_tm.protocol.tx_static:
             pool = out_tm.tx_pool
         else:
-            if self._free_dynamic:
-                return self._free_dynamic.pop(), None
-            size = max(mtu, DESC_BYTES)
-            return Buffer.alloc(size, label=f"gw{self.gw_rank}.staging"), None
+            ring = self._staging_ring(mtu)
+            try:
+                # Fast path: a free ring block costs no simulator event,
+                # exactly like the recycled free list it replaces.
+                block = ring.try_acquire()
+            except PoolExhausted:
+                block = yield from self._bounded_acquire(ring)
+            self._h_ring.observe(float(ring.count - ring.available))
+            return block, ring
         block = yield from self._bounded_acquire(pool)
         return block, pool
+
+    def _staging_ring(self, mtu: int) -> StaticBufferPool:
+        """The per-direction staging-buffer ring (``depth`` blocks)."""
+        size = max(mtu, DESC_BYTES)
+        ring = self._ring
+        if ring is None or ring.block_size < size:
+            # Outstanding blocks of a smaller predecessor keep their owner
+            # reference through ``_Item.pool``, so their releases stay safe.
+            self._ring = ring = StaticBufferPool(
+                self.sim, self.pipeline.depth, size,
+                name=f"gw{self.gw_rank}.{self.in_channel.id}.ring",
+                telemetry=self.in_channel.fabric.telemetry)
+        return ring
 
     def _bounded_acquire(self, pool: StaticBufferPool):
         """Pool acquire under the stall bound; never strands a block.
@@ -182,8 +224,6 @@ class ForwardingWorker:
         self._g_occupancy.dec()
         if pool is not None:
             pool.release(buffer)
-        else:
-            self._free_dynamic.append(buffer)
 
     # -- per-message dispatch ------------------------------------------------------
     def _main_loop(self):
@@ -259,13 +299,13 @@ class ForwardingWorker:
                     msg=announce.msg_id, dst=announce.final_dst,
                     route=f"{in_tm.protocol.name}->{out_tm.protocol.name}")
                 # Lockstep is inherently a two-buffer scheme; other depths
-                # run through the decoupled queue (depth 1 = store-and-
+                # run through the credit pipeline (one credit = store-and-
                 # forward per fragment).
-                if self.params.lockstep and self.params.pipeline_depth == 2:
+                if self.pipeline.is_lockstep:
                     ok = yield from self._pipeline_lockstep(
                         in_tm, out_tm, hop.dst, hop_src, announce)
                 else:
-                    ok = yield from self._pipeline_decoupled(
+                    ok = yield from self._pipeline_credit(
                         in_tm, out_tm, hop.dst, hop_src, announce)
             except GatewayCrashed:
                 self._retired = True
@@ -483,21 +523,31 @@ class ForwardingWorker:
             self._abandon_transmit(out_tm, announce)
             return False
 
-    # -- the decoupled bounded-queue pipeline (ablation) -----------------------------------
-    def _pipeline_decoupled(self, in_tm, out_tm, next_rank, hop_src, announce):
-        """Returns True if the whole message left, False if abandoned."""
+    # -- the N-deep credit pipeline (generalizes the decoupled ablation) -------------------
+    def _pipeline_credit(self, in_tm, out_tm, next_rank, hop_src, announce):
+        """Returns True if the whole message left, False if abandoned.
+
+        ``credits`` bounds the staged items in flight; the receive thread
+        acquires a credit before posting a buffer, the send thread returns
+        it when the retransmit completes, so the ring of ``depth`` staging
+        blocks can never be oversubscribed.
+        """
         sim = self.sim
-        depth = self.params.pipeline_depth
-        gate = Semaphore(sim, depth, name=f"gw{self.gw_rank}.gate")
-        handoff = Queue(sim, capacity=max(1, depth - 1),
+        pipe = self.pipeline
+        gate = Semaphore(sim, pipe.effective_credits,
+                         name=f"gw{self.gw_rank}.credits")
+        handoff = Queue(sim, capacity=max(1, pipe.depth - 1),
                         name=f"gw{self.gw_rank}.handoff")
         sender = sim.process(
-            self._decoupled_sender(handoff, gate, in_tm, out_tm, next_rank,
-                                   announce),
+            self._credit_sender(handoff, gate, in_tm, out_tm, next_rank,
+                                announce),
             name=f"gwS:{self.gw_rank}:{self.in_channel.id}")
         ok = True
         while True:
-            idx, _value = yield sim.any_of([gate.acquire(), sender])
+            acq = gate.acquire()
+            if not acq.triggered:
+                self._m_credit_stalls.inc()
+            idx, _value = yield sim.any_of([acq, sender])
             if idx == 1:
                 ok = False
                 break
@@ -522,8 +572,8 @@ class ForwardingWorker:
         self._drain_handoff(handoff)
         return ok and sent_ok
 
-    def _decoupled_sender(self, handoff, gate, in_tm, out_tm, next_rank,
-                          announce):
+    def _credit_sender(self, handoff, gate, in_tm, out_tm, next_rank,
+                       announce):
         try:
             while True:
                 item = yield handoff.get()

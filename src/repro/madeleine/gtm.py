@@ -58,8 +58,10 @@ class GTMOutgoing(_ExecutorMixin):
         self.src = src
         self.dst = dst
         self.batched = vchannel.header_batching
-        from ..routing import negotiate_mtu
-        self.mtu = negotiate_mtu(route, vchannel.packet_size)
+        # Static negotiation or the adaptive fragment tuner, per the
+        # virtual channel's pipeline config; the announce carries the
+        # result so receivers and gateways follow without renegotiating.
+        self.mtu = vchannel.effective_mtu(route)
         hop0 = route[0]
         # First hop always targets a gateway: use the special channel.
         wire_channel = vchannel.special_twin(hop0.channel)

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional, Sequence, Union
 
-from ..hw.params import GatewayParams
+from ..hw.params import GatewayParams, PipelineConfig
 from ..hw.topology import World
 from ..sim import Event, Process
 from ..sim.trace import TraceRecorder
@@ -140,13 +140,16 @@ class Session:
                         gateway_params: Optional[GatewayParams] = None,
                         name: str = "",
                         multirail: bool = False,
-                        header_batching: bool = False) -> VirtualChannel:
+                        header_batching: bool = False,
+                        pipeline: Optional["PipelineConfig"] = None,
+                        ) -> VirtualChannel:
         """Bundle real channels into a virtual channel with transparent
         forwarding on every gateway node (``multirail`` spreads messages
         over parallel equal-length routes, relaxing inter-message order;
         ``header_batching`` piggybacks GTM self-description records on
-        payload fragments, §2.3).  ``packet_size=None`` uses the session
-        default."""
+        payload fragments, §2.3; ``pipeline`` configures the N-deep
+        credit-based gateway pipeline and the adaptive fragment tuner).
+        ``packet_size=None`` uses the session default."""
         self._check_open()
         vch = VirtualChannel(channels,
                              packet_size=(self.default_packet_size
@@ -154,7 +157,8 @@ class Session:
                                           else packet_size),
                              gateway_params=gateway_params, name=name,
                              multirail=multirail,
-                             header_batching=header_batching)
+                             header_batching=header_batching,
+                             pipeline=pipeline)
         self.virtual_channels.append(vch)
         return vch
 

@@ -19,8 +19,11 @@ from __future__ import annotations
 import warnings
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
-from ..hw.params import GatewayParams
-from ..routing import RouteTable, gateway_ranks, negotiate_mtu
+from dataclasses import replace as _dc_replace
+
+from ..hw.params import GatewayParams, PipelineConfig
+from ..routing import (RouteTable, gateway_ranks, negotiate_mtu,
+                       tune_fragment_size)
 from ..sim import Event, Queue
 from .channel import RealChannel
 from .endpoint import MessageEndpoint
@@ -89,7 +92,8 @@ class VirtualChannel:
                  packet_size: int = DEFAULT_PACKET_SIZE,
                  gateway_params: Optional[GatewayParams] = None,
                  name: str = "", multirail: bool = False,
-                 header_batching: bool = False) -> None:
+                 header_batching: bool = False,
+                 pipeline: Optional[PipelineConfig] = None) -> None:
         if not channels:
             raise ValueError("a virtual channel needs at least one real channel")
         worlds = {id(ch.world) for ch in channels}
@@ -101,7 +105,16 @@ class VirtualChannel:
         self.world = channels[0].world
         self.sim = self.world.sim
         self.packet_size = packet_size
-        self.gateway_params = gateway_params or GatewayParams()
+        gp = gateway_params or GatewayParams()
+        if pipeline is not None:
+            gp = _dc_replace(gp, pipeline=pipeline)
+        self.gateway_params = gp
+        #: the resolved forwarding-pipeline config every worker runs.
+        self.pipeline = gp.resolved_pipeline
+        #: per-route tuned fragment sizes (adaptive MTU mode).
+        self._mtu_cache: dict[tuple[str, ...], int] = {}
+        #: probe-measured per-protocol host rates refining the tuner.
+        self._rate_overrides: Optional[dict[str, float]] = None
         self.name = name or f"vch({','.join(ch.id for ch in channels)})"
         self.routes = RouteTable(self.channels,
                                  telemetry=self.world.telemetry)
@@ -199,7 +212,35 @@ class VirtualChannel:
         return self._specials[channel.id]
 
     def mtu_for(self, src: int, dst: int) -> int:
-        return negotiate_mtu(self.routes.route(src, dst), self.packet_size)
+        return self.effective_mtu(self.routes.route(src, dst))
+
+    def effective_mtu(self, route) -> int:
+        """Fragment size the GTM uses on ``route``.
+
+        Static mode (default): the §2.3 negotiation,
+        ``min(packet_size, per-hop MTU)``.  Adaptive mode
+        (``PipelineConfig(adaptive_mtu=True)``): the knee of the analytic
+        pipeline model via :func:`repro.routing.tune_fragment_size`, cached
+        per path; the wire-format MTU stays the upper bound.
+        """
+        route = list(route)
+        if not self.pipeline.adaptive_mtu or len(route) < 2:
+            return negotiate_mtu(route, self.packet_size)
+        key = tuple(hop.channel.id for hop in route)
+        mtu = self._mtu_cache.get(key)
+        if mtu is None:
+            mtu = tune_fragment_size(route, gateway=self.gateway_params,
+                                     pipeline=self.pipeline,
+                                     slack=self.pipeline.tuner_slack,
+                                     rate_overrides=self._rate_overrides)
+            self._mtu_cache[key] = mtu
+        return mtu
+
+    def calibrate_rates(self, rates: dict[str, float]) -> None:
+        """Feed probe-measured host rates (protocol name → bytes/µs) into
+        the adaptive fragment tuner and drop previously tuned sizes."""
+        self._rate_overrides = dict(rates)
+        self._mtu_cache.clear()
 
     def endpoint(self, rank: int) -> VChannelEndpoint:
         if rank not in self.routes.graph:

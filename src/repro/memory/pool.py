@@ -137,17 +137,27 @@ class StaticBufferPool:
 
         Blocks still checked out by abandoned pipelines are *retired*: their
         eventual release becomes a no-op instead of an error, and fresh
-        replacement blocks take their place.  Returns the number of blocks
-        replaced.
+        replacement blocks take their place.  Acquires still blocked at
+        reset time (queued between the crash's ``fail_waiters`` and the
+        restart) are granted from the replenished pool in FIFO order rather
+        than silently dropped — a stranded waiter would otherwise never
+        trigger.  Returns the number of blocks replaced.
         """
-        self._waiters.clear()
         retired = len(self._outstanding)
         self._retired |= self._outstanding
         self._outstanding.clear()
-        self._g_in_use.set(0)
         for i in range(retired):
             self._free.append(
                 Buffer(np.zeros(self.block_size, dtype=np.uint8),
                        kind=STATIC, owner=self,
                        label=f"{self.name}[r{i}]"))
+        while self._waiters and self._free:
+            ev = self._waiters.popleft()
+            if ev.triggered:
+                continue
+            buf = self._free.popleft()
+            buf._released = False
+            self._outstanding.add(buf)
+            ev.succeed(buf)
+        self._g_in_use.set(len(self._outstanding))
         return retired

@@ -1,11 +1,13 @@
 """Route computation over cluster-of-clusters channel graphs."""
 
 from .graph import build_graph, gateway_ranks
-from .mtu import MIN_MTU, MTU_GRANULARITY, negotiate_mtu
+from .mtu import (MIN_MTU, MTU_GRANULARITY, fragment_knee,
+                  negotiate_mtu, tune_fragment_size)
 from .routes import Hop, NoRouteError, RouteTable
 
 __all__ = [
     "build_graph", "gateway_ranks",
-    "MIN_MTU", "MTU_GRANULARITY", "negotiate_mtu",
+    "MIN_MTU", "MTU_GRANULARITY", "fragment_knee", "negotiate_mtu",
+    "tune_fragment_size",
     "Hop", "NoRouteError", "RouteTable",
 ]

@@ -53,3 +53,66 @@ def test_model_overhead_term():
 def test_model_handles_non_pio_pairs():
     pred = predict_forwarding(SBP, SCI, 16 << 10)
     assert pred.bandwidth > 0
+
+
+# -- pipeline disciplines in the closed form ---------------------------------
+
+def test_lockstep_period_formula():
+    from repro.hw import PipelineConfig
+    pred = predict_forwarding(SCI, MYRINET, 64 << 10,
+                              pipeline=PipelineConfig(depth=2))
+    assert pred.period_us == pytest.approx(
+        max(pred.recv_us, pred.send_us) + GatewayParams().switch_overhead)
+
+
+def test_credit_period_moves_overhead_off_critical_path():
+    from repro.hw import PipelineConfig
+    c = GatewayParams().switch_overhead
+    pred = predict_forwarding(SCI, MYRINET, 64 << 10,
+                              pipeline=PipelineConfig(depth=4))
+    assert pred.period_us == pytest.approx(
+        max(pred.recv_us + c, pred.send_us))
+
+
+def test_single_credit_is_store_and_forward():
+    from repro.hw import PipelineConfig
+    c = GatewayParams().switch_overhead
+    for pipe in (PipelineConfig(depth=1),
+                 PipelineConfig(depth=4, credits=1)):
+        pred = predict_forwarding(SCI, MYRINET, 64 << 10, pipeline=pipe)
+        assert pred.period_us == pytest.approx(
+            pred.recv_us + c + pred.send_us)
+
+
+def test_discipline_ordering():
+    """serial >= lockstep >= credit, at every fragment size."""
+    from repro.hw import PipelineConfig
+    for packet in (8 << 10, 32 << 10, 128 << 10):
+        serial = predict_forwarding(SCI, MYRINET, packet,
+                                    pipeline=PipelineConfig(depth=1))
+        lock = predict_forwarding(SCI, MYRINET, packet,
+                                  pipeline=PipelineConfig(depth=2))
+        credit = predict_forwarding(SCI, MYRINET, packet,
+                                    pipeline=PipelineConfig(depth=4))
+        assert serial.period_us >= lock.period_us >= credit.period_us
+
+
+def test_legacy_params_select_the_same_periods():
+    from repro.hw import PipelineConfig
+    legacy = predict_forwarding(SCI, MYRINET, 64 << 10,
+                                gateway=GatewayParams(pipeline_depth=4,
+                                                      lockstep=False))
+    explicit = predict_forwarding(SCI, MYRINET, 64 << 10,
+                                  pipeline=PipelineConfig(depth=4))
+    assert legacy.period_us == explicit.period_us
+
+
+def test_credit_model_matches_simulation():
+    """The max(recv + c, send) formula tracks the simulated credit
+    pipeline the way the lockstep formula tracks the paper's."""
+    from repro.hw import PipelineConfig
+    pipe = PipelineConfig(depth=4)
+    pred = predict_forwarding(SCI, MYRINET, 32 << 10, pipeline=pipe)
+    harness = PingHarness(packet_size=32 << 10, pipeline=pipe)
+    measured = harness.measure(8 << 20, direction="b0->a0").bandwidth
+    assert measured == pytest.approx(pred.bandwidth, rel=0.10)

@@ -94,3 +94,57 @@ def test_quick_run_matches_committed_baseline(tmp_path):
     payload = json.loads(out.read_text())
     assert payload["comparison"]["status"] == "pass"
     assert payload["kernel"]["event_reduction"] >= 0.20
+
+
+# -- feature floors -----------------------------------------------------------
+
+def test_pipeline_gain_floor_enforced(baseline):
+    baseline["floors"] = {"pipeline_depth4_gain": 0.10}
+    current = {"pipeline": {"depth4_gain": 0.04}}
+    failures = rg.compare_to_baseline(current, baseline)
+    assert any("pipeline.depth4_gain" in f for f in failures)
+    current = {"pipeline": {"depth4_gain": 0.12}}
+    assert rg.compare_to_baseline(current, baseline) == []
+
+
+def test_batching_reduction_floor_enforced(baseline):
+    baseline["floors"] = {"batching_record_reduction": 0.25}
+    current = {"batching": {"record_reduction": 0.10}}
+    failures = rg.compare_to_baseline(current, baseline)
+    assert any("batching.record_reduction" in f for f in failures)
+
+
+def test_floors_ignored_when_scenario_skipped(baseline):
+    # a --quick subset that omits the scenario must not trip its floor
+    baseline["floors"] = {"pipeline_depth4_gain": 0.10,
+                          "batching_record_reduction": 0.25}
+    current = {"fig5": {"elapsed_us": 1000.0, "events_per_mb": 400.0}}
+    assert rg.compare_to_baseline(current, baseline) == []
+
+
+def test_write_baseline_preserves_floors(tmp_path):
+    path = tmp_path / "baseline.json"
+    rg.write_baseline({"fig5": {"x": 1.0}}, path)
+    data = json.loads(path.read_text())
+    data["floors"]["pipeline_depth4_gain"] = 0.42   # a raised commitment
+    path.write_text(json.dumps(data))
+    rg.write_baseline({"fig5": {"x": 2.0}}, path)   # refresh keeps it
+    data = json.loads(path.read_text())
+    assert data["floors"]["pipeline_depth4_gain"] == 0.42
+    assert data["floors"]["batching_record_reduction"] == \
+        rg.DEFAULT_FLOORS["batching_record_reduction"]
+
+
+# -- parallel-run determinism -------------------------------------------------
+
+def test_scenario_seeding_is_independent_of_caller_state():
+    """Each scenario reseeds from its own name, so results cannot depend on
+    which worker process (or prior scenario) ran it."""
+    import random
+    random.seed(12345)
+    first = rg._run_scenario("latency")
+    random.seed(99999)
+    for _ in range(17):
+        random.random()
+    second = rg._run_scenario("latency")
+    assert first == second

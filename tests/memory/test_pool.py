@@ -115,3 +115,86 @@ def test_pool_fifo_fairness(sim):
     sim.process(waiter("second", 1.0))
     sim.run()
     assert order == ["first", "second"]
+
+
+# -- waiter bookkeeping under cancellation and crash recovery -----------------
+
+def test_cancel_acquire_withdraws_pending_waiter(sim):
+    pool = StaticBufferPool(sim, count=1, block_size=8)
+    held = pool.try_acquire()
+    acq = pool.acquire()
+    assert pool.cancel_acquire(acq)
+    pool.release(held)
+    sim.run()
+    assert not acq.triggered          # a cancelled acquire never fires
+    assert pool.available == 1        # the block went back to the free list
+    assert not pool._waiters
+
+
+def test_cancel_acquire_after_grant_returns_false(sim):
+    pool = StaticBufferPool(sim, count=1, block_size=8)
+    acq = pool.acquire()              # immediate grant, never queued
+    assert not pool.cancel_acquire(acq)
+    pool.release(acq.value)
+
+
+def test_cancel_acquire_races_fail_waiters(sim):
+    """A crash (fail_waiters) drains the queue first: the late cancel must
+    report 'no longer queued' instead of corrupting the waiter deque."""
+    pool = StaticBufferPool(sim, count=1, block_size=8)
+    held = pool.try_acquire()
+    acq = pool.acquire()
+    assert pool.fail_waiters(RuntimeError("crash")) == 1
+    assert not pool.cancel_acquire(acq)   # already failed, not queued
+    assert not pool._waiters
+    pool.release(held)
+    assert pool.available == 1
+
+
+def test_cancel_acquire_races_reset(sim):
+    """reset() grants queued waiters; cancelling one of those afterwards
+    must come back False — the caller owns the delivered block."""
+    pool = StaticBufferPool(sim, count=1, block_size=8)
+    held = pool.try_acquire()
+    acq = pool.acquire()
+    pool.reset()
+    assert acq.triggered              # granted from the replenished pool
+    assert not pool.cancel_acquire(acq)
+    pool.release(acq.value)
+    pool.release(held)                # stale: block was retired, no error
+    assert pool.available == 1
+
+
+def test_reset_grants_pending_waiters_fifo(sim):
+    pool = StaticBufferPool(sim, count=2, block_size=8)
+    held = [pool.try_acquire(), pool.try_acquire()]
+    first, second, third = pool.acquire(), pool.acquire(), pool.acquire()
+    replaced = pool.reset()
+    assert replaced == 2
+    assert first.triggered and second.triggered   # FIFO grant
+    assert not third.triggered                    # pool exhausted again
+    assert list(pool._waiters) == [third]
+    pool.release(first.value)
+    assert third.triggered                        # normal hand-over resumes
+    for b in (second.value, third.value):
+        pool.release(b)
+    for b in held:
+        pool.release(b)                           # retired: swallowed
+    assert pool.available == pool.count == 2
+
+
+def test_reset_skips_failed_waiters(sim):
+    """Waiters failed by a crash sit triggered in the deque only until the
+    drain; a reset racing in must not hand them a block."""
+    pool = StaticBufferPool(sim, count=1, block_size=8)
+    held = pool.try_acquire()
+    doomed = pool.acquire()
+    live = pool.acquire()
+    doomed.fail(RuntimeError("crash"))   # failed in place, still queued
+    doomed.defuse()
+    pool.reset()
+    assert live.triggered                # the live waiter got the block
+    assert not pool._waiters
+    pool.release(live.value)
+    pool.release(held)
+    assert pool.available == 1
