@@ -1,8 +1,9 @@
 """Analysis of benchmark results and gateway pipeline traces."""
 
 from .ascii_plot import plot_series
-from .model import (PipelinePrediction, fragment_time,
-                    predict_forwarding)
+from .model import (MultirailPrediction, PipelinePrediction,
+                    fragment_time, predict_forwarding,
+                    predict_multirail)
 from .export import (metrics_to_rows, spans_to_chrome, to_chrome_trace,
                      write_chrome_trace, write_metrics_csv,
                      write_metrics_json, write_spans_chrome)
@@ -15,7 +16,8 @@ from .pipeline import (PipelineStats, StepTimeline, extract_timeline,
 
 __all__ = [
     "plot_series", "BusMonitor",
-    "PipelinePrediction", "fragment_time", "predict_forwarding",
+    "MultirailPrediction", "PipelinePrediction", "fragment_time",
+    "predict_forwarding", "predict_multirail",
     "to_chrome_trace", "write_chrome_trace",
     "metrics_to_rows", "spans_to_chrome", "write_metrics_csv",
     "write_metrics_json", "write_spans_chrome",

@@ -1,20 +1,23 @@
 """Benchmark harness: the §3.1 ping method, parameter sweeps, and table
 formatting used by every figure/table reproduction in ``benchmarks/``."""
 
-from .ping import (PingHarness, PingResult, measure_ack_latency,
-                   one_way_ping, probe_protocol_rates)
+from .ping import (MultirailHarness, PingHarness, PingResult,
+                   measure_ack_latency, one_way_ping,
+                   probe_protocol_rates)
 from .regress import (compare_to_baseline, format_report, run_regress,
                       write_baseline, write_results)
 from .sweep import (PAPER_MESSAGE_SIZES, PAPER_PACKET_SIZES, Series,
-                    bandwidth_sweep, figure_sweep, pipeline_sweep)
+                    bandwidth_sweep, figure_sweep, pipeline_sweep,
+                    rails_sweep)
 from .tables import (PaperPoint, format_comparison, format_series_table,
                      human_size)
 
 __all__ = [
-    "PingHarness", "PingResult", "measure_ack_latency", "one_way_ping",
+    "MultirailHarness", "PingHarness", "PingResult",
+    "measure_ack_latency", "one_way_ping",
     "probe_protocol_rates",
     "PAPER_MESSAGE_SIZES", "PAPER_PACKET_SIZES", "Series",
-    "bandwidth_sweep", "figure_sweep", "pipeline_sweep",
+    "bandwidth_sweep", "figure_sweep", "pipeline_sweep", "rails_sweep",
     "compare_to_baseline", "format_report", "run_regress",
     "write_baseline", "write_results",
     "PaperPoint", "format_comparison", "format_series_table", "human_size",

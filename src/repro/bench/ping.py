@@ -23,7 +23,7 @@ from ..madeleine.session import Session
 from ..madeleine.vchannel import VirtualChannel
 
 __all__ = ["PingResult", "measure_ack_latency", "one_way_ping", "PingHarness",
-           "probe_protocol_rates"]
+           "MultirailHarness", "probe_protocol_rates"]
 
 _ACK_BYTES = 4
 
@@ -180,6 +180,72 @@ class PingHarness:
 
     def measure(self, size: int, direction: str = "b0->a0") -> PingResult:
         """``direction``: "a0->b0" (first protocol first) or "b0->a0"."""
+        world, session, vch, ack = self.build()
+        if direction == "a0->b0":
+            src, dst = session.rank("a0"), session.rank("b0")
+        elif direction == "b0->a0":
+            src, dst = session.rank("b0"), session.rank("a0")
+        else:
+            raise ValueError(f"bad direction {direction!r}")
+        return one_way_ping(session, vch, ack, src, dst, size)
+
+
+class MultirailHarness:
+    """Paper-style testbed with N parallel rails between the two clouds.
+
+    The topology generalizes :class:`PingHarness` to the multirail setup of
+    the motivation: ``rails`` gateway machines bridge the clouds, and the
+    end nodes hold one adapter of their cloud's protocol *per rail* (the
+    dual-NIC configuration), so ``rails`` fully disjoint minimum-hop routes
+    — distinct sender NIC, gateway, and receiver NIC — connect ``a0`` and
+    ``b0``.  With ``stripe_policy=None`` the virtual channel uses one route
+    (the single-rail reference); with a policy each large paquet is striped
+    across up to ``max_rails`` of them.
+    """
+
+    def __init__(self, packet_size: int = 8 << 10, rails: int = 2,
+                 protocols=("myrinet", "sci"), stripe_policy=None,
+                 gateway_params=None, node_params=None, pipeline=None,
+                 rate_overrides=None) -> None:
+        if rails < 1:
+            raise ValueError(f"need at least one rail, got {rails}")
+        self.packet_size = packet_size
+        self.rails = rails
+        self.protocols = protocols
+        self.stripe_policy = stripe_policy
+        self.gateway_params = gateway_params
+        self.node_params = node_params
+        self.pipeline = pipeline
+        self.rate_overrides = rate_overrides
+
+    def build(self):
+        from ..hw import build_world
+        pa, pb = self.protocols
+        gws = [f"gw{i}" for i in range(self.rails)]
+        nodes = {"a0": [pa] * self.rails + ["fast_ethernet"],
+                 **{gw: [pa, pb] for gw in gws},
+                 "b0": [pb] * self.rails + ["fast_ethernet"]}
+        world = build_world(nodes, node_params=self.node_params)
+        session = Session(world)
+        members = []
+        for i, gw in enumerate(gws):
+            # One channel pair per rail: a0's i-th NIC to gateway i, and
+            # gateway i to b0's i-th NIC.
+            members.append(session.channel(pa, ["a0", gw],
+                                           adapter_index={"a0": i}))
+            members.append(session.channel(pb, [gw, "b0"],
+                                           adapter_index={"b0": i}))
+        vch = session.virtual_channel(members,
+                                      packet_size=self.packet_size,
+                                      gateway_params=self.gateway_params,
+                                      pipeline=self.pipeline,
+                                      stripe_policy=self.stripe_policy)
+        if self.rate_overrides:
+            vch.calibrate_rates(self.rate_overrides)
+        ack = session.channel("fast_ethernet", ["a0", "b0"])
+        return world, session, vch, ack
+
+    def measure(self, size: int, direction: str = "a0->b0") -> PingResult:
         world, session, vch, ack = self.build()
         if direction == "a0->b0":
             src, dst = session.rank("a0"), session.rank("b0")

@@ -59,6 +59,9 @@ DEFAULT_FLOORS = {
     # header batching must keep cutting wire records on a message of many
     # sub-MTU buffers (its real benefit; invisible on fig5, see docs).
     "batching_record_reduction": 0.25,
+    # dual-rail striping must keep aggregating bandwidth: >= 1.5x the
+    # single-rail figure at 8 KB paquets on the dual-gateway topology.
+    "multirail_dual_gain": 1.5,
 }
 
 #: fig5/fig8 use the paper's balanced configuration: 2 MB over 64 KB paquets.
@@ -282,6 +285,34 @@ def _scenario_batching() -> dict:
     }
 
 
+#: multirail runs at the gain-demonstration point: 8 KB paquets, where the
+#: per-fragment latency keeps single-rail far from the wire peak.
+_MULTIRAIL_PACKET = 8 << 10
+
+
+def _scenario_multirail() -> dict:
+    """Dual-rail striping vs single rail on the dual-gateway/dual-NIC
+    topology, with the closed-form model's figure for the same point."""
+    from ..analysis.model import predict_multirail
+    from ..hw.params import PROTOCOLS
+    from ..routing import StripePolicy
+    from .ping import MultirailHarness
+
+    single = MultirailHarness(packet_size=_MULTIRAIL_PACKET,
+                              rails=1).measure(_MESSAGE)
+    dual = MultirailHarness(packet_size=_MULTIRAIL_PACKET, rails=2,
+                            stripe_policy=StripePolicy(max_rails=2),
+                            ).measure(_MESSAGE)
+    model = predict_multirail(PROTOCOLS["myrinet"], PROTOCOLS["sci"],
+                              _MULTIRAIL_PACKET, rails=2, message=_MESSAGE)
+    return {
+        "single_rail_mbs": single.bandwidth,
+        "dual_rail_mbs": dual.bandwidth,
+        "model_dual_mbs": model.bandwidth,
+        "multirail_dual_gain": dual.bandwidth / single.bandwidth,
+    }
+
+
 _SCENARIOS = {
     "fig5": _scenario_fig5,
     "fig5_batched": _scenario_fig5_batched,
@@ -289,6 +320,7 @@ _SCENARIOS = {
     "latency": _scenario_latency,
     "pipeline": _scenario_pipeline,
     "batching": _scenario_batching,
+    "multirail": _scenario_multirail,
     "fig6": _scenario_fig6,
     "fig7": _scenario_fig7,
 }
@@ -296,7 +328,7 @@ _SCENARIOS = {
 #: --quick keeps the cheap single-transfer scenarios (the sweeps dominate
 #: the runtime); comparison then covers only the scenarios that ran.
 _QUICK_SCENARIOS = ("fig5", "fig5_batched", "fig8", "latency", "pipeline",
-                    "batching")
+                    "batching", "multirail")
 
 
 def _run_scenario(name: str):
@@ -388,6 +420,14 @@ def compare_to_baseline(current: dict, baseline: dict,
                 f"batching.record_reduction: {red:.1%} is below the "
                 f"committed floor ({red_floor:.0%}) — header batching "
                 f"stopped removing wire records")
+    rail_floor = floors.get("multirail_dual_gain")
+    if rail_floor is not None and "multirail" in current:
+        gain = current["multirail"].get("multirail_dual_gain", 0.0)
+        if gain < rail_floor - 1e-9:
+            failures.append(
+                f"multirail.multirail_dual_gain: {gain:.2f}x is below the "
+                f"committed floor ({rail_floor:.1f}x) — dual-rail striping "
+                f"stopped aggregating bandwidth")
     return failures
 
 

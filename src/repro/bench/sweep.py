@@ -6,11 +6,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
 from ..hw.params import GatewayParams, PipelineConfig
-from .ping import PingHarness, PingResult, probe_protocol_rates
+from .ping import (MultirailHarness, PingHarness, PingResult,
+                   probe_protocol_rates)
 
 __all__ = ["Series", "bandwidth_sweep", "figure_sweep", "pipeline_sweep",
+           "rails_sweep",
            "PAPER_PACKET_SIZES", "PAPER_MESSAGE_SIZES",
-           "PIPELINE_SWEEP_DEPTHS", "PIPELINE_SWEEP_FRAGMENTS"]
+           "PIPELINE_SWEEP_DEPTHS", "PIPELINE_SWEEP_FRAGMENTS",
+           "RAILS_SWEEP_RAILS", "RAILS_SWEEP_PACKETS"]
 
 #: the paper sweeps paquet sizes 8 KB .. 128 KB (Figures 6 and 7)
 PAPER_PACKET_SIZES = tuple((1 << k) << 10 for k in range(3, 8))
@@ -105,6 +108,59 @@ def pipeline_sweep(depths: Sequence[int] = PIPELINE_SWEEP_DEPTHS,
             grid.setdefault(f"depth{depth}", {})[f"{fragment >> 10}k"] = bw
     return {"direction": direction, "message": message,
             "probe": bool(probe), "grid": grid, "tuned": tuned}
+
+
+#: rails × paquet grid of ``repro bench --sweep-rails``.
+RAILS_SWEEP_RAILS = (1, 2, 3)
+RAILS_SWEEP_PACKETS = tuple((1 << k) << 10 for k in (2, 3, 4))
+
+
+def _rails_cell(cell):
+    """One (rails, paquet) measurement on the multirail topology, plus the
+    analytic aggregate-bandwidth prediction for the same point.
+
+    Module-level (and tuple-argumented) so a ``multiprocessing`` pool can
+    pickle it.
+    """
+    from ..analysis.model import predict_multirail
+    from ..hw.params import PROTOCOLS
+    from ..routing import StripePolicy
+    rails, packet, message, rates = cell
+    policy = StripePolicy(max_rails=rails) if rails > 1 else None
+    harness = MultirailHarness(packet_size=packet, rails=rails,
+                               stripe_policy=policy, rate_overrides=rates)
+    result = harness.measure(message)
+    model = predict_multirail(PROTOCOLS[harness.protocols[0]],
+                              PROTOCOLS[harness.protocols[1]],
+                              packet, rails=rails, message=message)
+    return rails, packet, result.bandwidth, model.bandwidth
+
+
+def rails_sweep(rails: Sequence[int] = RAILS_SWEEP_RAILS,
+                packets: Sequence[int] = RAILS_SWEEP_PACKETS,
+                message: int = 2 << 20,
+                map_fn: Optional[Callable] = None) -> dict:
+    """Sweep rail count × paquet size on the multirail dual-NIC topology,
+    reporting measured striped bandwidth next to the closed-form
+    :func:`~repro.analysis.model.predict_multirail` figure for every cell.
+    ``map_fn`` substitutes for the builtin ``map`` (a multiprocessing
+    pool's ``imap``) to spread the cells over worker processes."""
+    cells = [(r, p, message, None) for r in rails for p in packets]
+    grid: dict[str, dict[str, float]] = {}
+    model: dict[str, dict[str, float]] = {}
+    for r, packet, bw, predicted in (map_fn or map)(_rails_cell, cells):
+        grid.setdefault(f"rails{r}", {})[f"{packet >> 10}k"] = bw
+        model.setdefault(f"rails{r}", {})[f"{packet >> 10}k"] = predicted
+    gains: dict[str, float] = {}
+    base = grid.get("rails1", {})
+    for key, row in grid.items():
+        if key == "rails1":
+            continue
+        shared = [p for p in row if p in base]
+        if shared:
+            gains[key] = sum(row[p] / base[p] for p in shared) / len(shared)
+    return {"message": message, "grid": grid, "model": model,
+            "mean_gain": gains}
 
 
 def figure_sweep(direction: str,

@@ -250,6 +250,51 @@ def _sweep_pipeline(args) -> int:
     return 0
 
 
+def _sweep_rails(args) -> int:
+    import json
+    import pathlib
+
+    from .bench import rails_sweep
+
+    map_fn = None
+    pool = None
+    if args.jobs and args.jobs > 1:
+        import multiprocessing as mp
+        pool = mp.Pool(args.jobs)
+        map_fn = pool.imap
+    try:
+        result = rails_sweep(map_fn=map_fn)
+    finally:
+        if pool is not None:
+            pool.close()
+            pool.join()
+    pkt_keys = sorted({k for row in result["grid"].values() for k in row},
+                      key=lambda k: int(k[:-1]))
+    print(f"striped bandwidth (MB/s), a0->b0, "
+          f"{result['message'] >> 20} MB message, "
+          f"measured | model per cell:\n")
+    header = f"{'rails':>8s}" + "".join(f"{k:>16s}" for k in pkt_keys) \
+        + f"{'mean gain':>12s}"
+    print(header)
+    print("-" * len(header))
+    for rkey in sorted(result["grid"], key=lambda k: int(k[5:])):
+        row, mrow = result["grid"][rkey], result["model"][rkey]
+        cells = "".join(f"{row[k]:8.1f}|{mrow[k]:<7.1f}" for k in pkt_keys)
+        gain = result["mean_gain"].get(rkey)
+        print(f"{rkey:>8s}{cells}"
+              + (f"{gain:11.2f}x" if gain is not None else ""))
+    print("\neach rail adds its own sender NIC, gateway, and receiver NIC; "
+          "the aggregate bends below linear once the end hosts' PCI buses "
+          "saturate (see docs/performance.md)")
+    if args.sweep_out:
+        path = pathlib.Path(args.sweep_out)
+        path.write_text(json.dumps({"suite": "sweep-rails", **result},
+                                   indent=1, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"\nwrote {path}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     import pathlib
 
@@ -257,9 +302,11 @@ def cmd_bench(args) -> int:
 
     if args.sweep_pipeline:
         return _sweep_pipeline(args)
+    if args.sweep_rails:
+        return _sweep_rails(args)
     if not args.regress and not args.update_baseline:
-        print("nothing to do: pass --regress, --update-baseline and/or "
-              "--sweep-pipeline", file=sys.stderr)
+        print("nothing to do: pass --regress, --update-baseline, "
+              "--sweep-pipeline and/or --sweep-rails", file=sys.stderr)
         return 2
     baseline_path = pathlib.Path(args.baseline)
     out_path = pathlib.Path(args.out)
@@ -379,9 +426,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--probe", action="store_true",
                    help="with --sweep-pipeline: run the online rate probe "
                         "and feed measured rates to the tuner")
+    p.add_argument("--sweep-rails", action="store_true",
+                   help="sweep stripe rail count x paquet size on the "
+                        "multirail dual-NIC topology (measured vs model)")
     p.add_argument("--sweep-out", default="",
-                   help="with --sweep-pipeline: also write the sweep "
-                        "table as JSON to this path")
+                   help="with --sweep-pipeline/--sweep-rails: also write "
+                        "the sweep table as JSON to this path")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(

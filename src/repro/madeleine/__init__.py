@@ -27,10 +27,12 @@ from .helpers import recv_arrays, recv_message_into, send_arrays
 from .message import IncomingMessage, MessageStateError, OutgoingMessage
 from .reliable import ReliableEndpoint, RetryPolicy
 from .session import Session
+from .stripe import StripedIncoming, StripedOutgoing
 from .vchannel import DEFAULT_PACKET_SIZE, VChannelEndpoint, VirtualChannel
 from .wire import (ANNOUNCE_BYTES, DESC_BYTES, MODE_GTM, MODE_REGULAR,
-                   Announce, Descriptor, decode_announce, decode_descriptor,
-                   encode_announce, encode_descriptor)
+                   STRIPE_BYTES, Announce, Descriptor, StripeRecord,
+                   decode_announce, decode_descriptor, decode_stripe,
+                   encode_announce, encode_descriptor, encode_stripe)
 
 __all__ = [
     "UnpackMismatch", "split_fragments",
@@ -43,8 +45,10 @@ __all__ = [
     "IncomingMessage", "MessageStateError", "OutgoingMessage",
     "ReliableEndpoint", "RetryPolicy",
     "Session",
+    "StripedIncoming", "StripedOutgoing",
     "DEFAULT_PACKET_SIZE", "VChannelEndpoint", "VirtualChannel",
     "ANNOUNCE_BYTES", "DESC_BYTES", "MODE_GTM", "MODE_REGULAR",
-    "Announce", "Descriptor", "decode_announce", "decode_descriptor",
-    "encode_announce", "encode_descriptor",
+    "STRIPE_BYTES", "Announce", "Descriptor", "StripeRecord",
+    "decode_announce", "decode_descriptor", "decode_stripe",
+    "encode_announce", "encode_descriptor", "encode_stripe",
 ]

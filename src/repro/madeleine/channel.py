@@ -14,7 +14,7 @@ on them, applications never do.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
 from ..hw.topology import World
 from ..memory import Buffer
@@ -39,7 +39,8 @@ class Endpoint(MessageEndpoint):
         self.channel = channel
         self.rank = rank
         self.node = channel.world.nodes[rank]
-        nic = self.node.nic(channel.protocol.name, channel.adapter_index)
+        nic = self.node.nic(channel.protocol.name,
+                            channel.adapter_index_for(rank))
         self.tm = TransmissionModule(channel, rank, nic)
         #: (Announce, hop_src) pairs, in arrival order.
         self.incoming: Queue = Queue(channel.sim,
@@ -124,7 +125,8 @@ class RealChannel:
 
     def __init__(self, world: World, protocol_name: str,
                  members: Sequence[int], name: Optional[str] = None,
-                 adapter_index: int = 0, special: bool = False) -> None:
+                 adapter_index: Union[int, Mapping[int, int]] = 0,
+                 special: bool = False) -> None:
         from ..hw.params import PROTOCOLS
         if len(set(members)) != len(members):
             raise ValueError("duplicate ranks in channel membership")
@@ -135,7 +137,12 @@ class RealChannel:
         self.fabric = world.fabric
         self.protocol = PROTOCOLS[protocol_name]
         self.members = tuple(members)
-        self.adapter_index = adapter_index
+        #: which adapter each member binds: one index for everyone, or a
+        #: rank -> index mapping for multi-NIC nodes (a dual-NIC node joins
+        #: one channel per NIC; missing ranks default to adapter 0).
+        self.adapter_index = (dict(adapter_index)
+                              if isinstance(adapter_index, Mapping)
+                              else adapter_index)
         self.special = special
         seq = next(_channel_seq)
         self.id = name or f"ch{seq}:{protocol_name}{'!fwd' if special else ''}"
@@ -149,6 +156,11 @@ class RealChannel:
         self.endpoints: dict[int, Endpoint] = {
             rank: Endpoint(self, rank) for rank in members
         }
+
+    def adapter_index_for(self, rank: int) -> int:
+        if isinstance(self.adapter_index, dict):
+            return self.adapter_index.get(rank, 0)
+        return self.adapter_index
 
     def endpoint(self, rank: int) -> Endpoint:
         try:

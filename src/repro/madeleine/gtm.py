@@ -29,8 +29,9 @@ from ..sim import Event
 from .bmm import UnpackMismatch, split_fragments
 from .flags import RecvMode, SendMode, validate_modes
 from .message import _ExecutorMixin, _as_buffer
-from .wire import (DESC_BYTES, MODE_GTM, Announce, Descriptor,
-                   decode_descriptor, encode_descriptor)
+from .wire import (DESC_BYTES, MODE_GTM, STRIPE_BYTES, Announce, Descriptor,
+                   StripeRecord, decode_descriptor, decode_stripe,
+                   encode_descriptor, encode_stripe)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .channel import Endpoint
@@ -50,21 +51,29 @@ class GTMOutgoing(_ExecutorMixin):
     """Packs a message onto the first hop of a multi-network route."""
 
     def __init__(self, vchannel: "VirtualChannel", src: int, dst: int,
-                 route=None) -> None:
+                 route=None, stripe: Optional[StripeRecord] = None) -> None:
         route = route if route is not None else vchannel.routes.route(src, dst)
-        if len(route) < 2:
+        if len(route) < 2 and stripe is None:
             raise ValueError("GTM is only used for forwarded messages")
         self.vchannel = vchannel
         self.src = src
         self.dst = dst
-        self.batched = vchannel.header_batching
+        #: this message is one rail of a multirail stripe group.  Header
+        #: batching is forced off on stripes: the reassembly gathers the
+        #: per-rail descriptors *before* any payload so it can carve the
+        #: destination buffer, which a piggybacked head would defeat.
+        self.stripe = stripe
+        self.batched = vchannel.header_batching and stripe is None
         # Static negotiation or the adaptive fragment tuner, per the
         # virtual channel's pipeline config; the announce carries the
         # result so receivers and gateways follow without renegotiating.
         self.mtu = vchannel.effective_mtu(route)
         hop0 = route[0]
-        # First hop always targets a gateway: use the special channel.
-        wire_channel = vchannel.special_twin(hop0.channel)
+        # First hop targets a gateway on forwarded routes: use the special
+        # channel.  A *direct* rail (dual-NIC striping) has no gateway
+        # ahead and stays on the regular channel.
+        wire_channel = (vchannel.special_twin(hop0.channel)
+                        if len(route) > 1 else hop0.channel)
         self.tm: "TransmissionModule" = wire_channel.tm(src)
         self.hop_dst = hop0.dst
         self.msg_id = next(_msg_ids)
@@ -78,12 +87,20 @@ class GTMOutgoing(_ExecutorMixin):
         self._finished.add_callback(lambda _ev: lock.release())
         announce = Announce(mode=MODE_GTM, origin=src, final_dst=dst,
                             mtu=self.mtu, msg_id=self.msg_id,
-                            hops_left=len(route) - 1, batched=self.batched)
+                            hops_left=len(route) - 1, batched=self.batched,
+                            striped=stripe is not None)
         self._submit(self._announce_op(lock, announce))
 
     def _announce_op(self, lock, announce: Announce):
         yield lock.acquire()
         yield self.tm.send_announce(self.hop_dst, announce)
+        if self.stripe is not None:
+            # The stripe record is the rail's first body item: it names the
+            # reassembly group this rail belongs to.  Gateways forward it
+            # like any other record.
+            self._send_events.append(self._send(
+                Buffer.wrap(encode_stripe(self.stripe)),
+                meta={"type": "stripe"}))
 
     # -- public interface (mirrors OutgoingMessage) ----------------------------
     def pack(self, data, smode: SendMode = SendMode.CHEAPER,
@@ -302,6 +319,11 @@ class GTMIncoming(_ExecutorMixin):
                 raise UnpackMismatch(
                     f"descriptor announces {desc.length}B but unpack "
                     f"expects {len(buf)}B")
+        yield from self._consume_fragments(buf, head)
+
+    def _consume_fragments(self, buf: Buffer, head: int = 0):
+        """Receive the fragments of one buffer into ``buf[head:]`` (its
+        descriptor — or batched head — has already been consumed)."""
         for off, size in split_fragments(len(buf) - head, self.mtu):
             off += head
             if self.tm.protocol.rx_static:
@@ -324,24 +346,48 @@ class GTMIncoming(_ExecutorMixin):
                 meta, n = yield from self._wait_post(post, None, None)
                 self._expect(meta, n, "frag", size)
 
-    def _recv_desc(self):
+    def _recv_record(self, wanted_type: str, nbytes: int):
+        """Receive one fixed-size control record; returns its raw bytes."""
         if self.tm.protocol.rx_static:
             block = yield from self._wait_acquire(self.tm.rx_pool)
             post = self.tm.post_item(self.hop_src, block, msg_id=self.msg_id)
             meta, n = yield from self._wait_post(post, block,
                                                  self.tm.rx_pool)
             try:
-                self._expect(meta, n, "desc", DESC_BYTES)
-                desc = decode_descriptor(block.view(0, DESC_BYTES).tobytes())
+                self._expect(meta, n, wanted_type, nbytes)
+                raw = block.view(0, nbytes).tobytes()
             finally:
                 self.tm.rx_pool.release(block)
         else:
-            dbuf = Buffer.alloc(DESC_BYTES, label="gtm.desc")
+            dbuf = Buffer.alloc(nbytes, label=f"gtm.{wanted_type}")
             post = self.tm.post_item(self.hop_src, dbuf, msg_id=self.msg_id)
             meta, n = yield from self._wait_post(post, None, None)
-            self._expect(meta, n, "desc", DESC_BYTES)
-            desc = decode_descriptor(dbuf.tobytes())
-        return desc
+            self._expect(meta, n, wanted_type, nbytes)
+            raw = dbuf.tobytes()
+        return raw
+
+    def _recv_desc(self):
+        raw = yield from self._recv_record("desc", DESC_BYTES)
+        return decode_descriptor(raw)
+
+    def _recv_stripe(self):
+        raw = yield from self._recv_record("stripe", STRIPE_BYTES)
+        return decode_stripe(raw)
+
+    # -- striped-rail interface (driven by StripedIncoming) -------------------
+    def read_stripe_record(self) -> Event:
+        """Event carrying this rail's :class:`StripeRecord` — the first
+        body item of a striped message."""
+        return self._submit(self._recv_stripe())
+
+    def read_descriptor(self) -> Event:
+        """Event carrying the next :class:`Descriptor` on this rail."""
+        return self._submit(self._recv_desc())
+
+    def read_into(self, view: Buffer) -> Event:
+        """Consume this rail's stripe of one paquet into ``view`` (whose
+        length the rail's descriptor announced)."""
+        return self._submit(self._consume_fragments(view))
 
     def _recv_batched_head(self, buf: Buffer):
         """Receive one header-batched record: descriptor + buffer head.

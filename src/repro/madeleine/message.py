@@ -73,11 +73,15 @@ class _ExecutorMixin:
         while True:
             gen, done, last = yield self._ops.get()
             try:
-                yield from gen
+                result = yield from gen
             except BaseException as exc:
                 done.fail(exc)
                 return
-            done.succeed()
+            # The op's return value rides on the completion event, so ops
+            # that produce data (a decoded record, a received size) can be
+            # driven from outside the executor.  Schedule-preserving: the
+            # event count and trigger instants are unchanged.
+            done.succeed(result)
             if last:
                 return
 

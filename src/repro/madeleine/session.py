@@ -35,7 +35,8 @@ so results can be collected after the fact.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional, Sequence, Union
+from typing import (TYPE_CHECKING, Generator, Mapping, Optional, Sequence,
+                    Union)
 
 from ..hw.params import GatewayParams, PipelineConfig
 from ..hw.topology import World
@@ -47,6 +48,7 @@ from .vchannel import DEFAULT_PACKET_SIZE, VirtualChannel
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.plan import FaultPlan
+    from ..routing import StripePolicy
 
 __all__ = ["Session"]
 
@@ -126,10 +128,16 @@ class Session:
     # -- channel construction ---------------------------------------------------
     def channel(self, protocol: str, members: Sequence[Union[str, int]],
                 name: Optional[str] = None,
-                adapter_index: int = 0) -> RealChannel:
+                adapter_index: Union[int, Mapping[Union[str, int], int]] = 0,
+                ) -> RealChannel:
         """Create a regular channel over ``protocol`` joining ``members``
-        (ranks or node names)."""
+        (ranks or node names).  ``adapter_index`` selects which adapter each
+        member binds: one index for all, or a per-member mapping (names or
+        ranks) for multi-NIC nodes — unlisted members use adapter 0."""
         self._check_open()
+        if isinstance(adapter_index, Mapping):
+            adapter_index = {self.rank(k) if isinstance(k, str) else k: v
+                             for k, v in adapter_index.items()}
         ch = RealChannel(self.world, protocol, self.ranks(members),
                          name=name, adapter_index=adapter_index)
         self.channels.append(ch)
@@ -142,13 +150,16 @@ class Session:
                         multirail: bool = False,
                         header_batching: bool = False,
                         pipeline: Optional["PipelineConfig"] = None,
+                        stripe_policy: Optional["StripePolicy"] = None,
                         ) -> VirtualChannel:
         """Bundle real channels into a virtual channel with transparent
         forwarding on every gateway node (``multirail`` spreads messages
         over parallel equal-length routes, relaxing inter-message order;
         ``header_batching`` piggybacks GTM self-description records on
         payload fragments, §2.3; ``pipeline`` configures the N-deep
-        credit-based gateway pipeline and the adaptive fragment tuner).
+        credit-based gateway pipeline and the adaptive fragment tuner;
+        ``stripe_policy`` enables transparent multirail striping — large
+        paquets split across disjoint rails for aggregate bandwidth).
         ``packet_size=None`` uses the session default."""
         self._check_open()
         vch = VirtualChannel(channels,
@@ -158,7 +169,8 @@ class Session:
                              gateway_params=gateway_params, name=name,
                              multirail=multirail,
                              header_batching=header_batching,
-                             pipeline=pipeline)
+                             pipeline=pipeline,
+                             stripe_policy=stripe_policy)
         self.virtual_channels.append(vch)
         return vch
 

@@ -22,7 +22,8 @@ from typing import TYPE_CHECKING, Optional, Sequence, Union
 from dataclasses import replace as _dc_replace
 
 from ..hw.params import GatewayParams, PipelineConfig
-from ..routing import (RouteTable, gateway_ranks, negotiate_mtu,
+from ..routing import (RouteTable, StripePolicy, StripeScheduler,
+                       disjoint_routes, gateway_ranks, negotiate_mtu,
                        tune_fragment_size)
 from ..sim import Event, Queue
 from .channel import RealChannel
@@ -30,6 +31,7 @@ from .endpoint import MessageEndpoint
 from .gateway import ForwardingWorker
 from .gtm import GTMIncoming, GTMOutgoing
 from .message import IncomingMessage, OutgoingMessage
+from .stripe import StripedIncoming, StripedOutgoing
 from .wire import MODE_GTM, MODE_REGULAR
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,6 +51,9 @@ class VChannelEndpoint(MessageEndpoint):
         self.rank = rank
         sim = vchannel.sim
         self.incoming: Queue = Queue(sim, name=f"{vchannel.name}@{rank}.in")
+        #: open stripe groups keyed by (origin, stripe_id): striped rails
+        #: arriving on any member channel join here until the group is full.
+        self._stripe_groups: dict[tuple[int, int], StripedIncoming] = {}
         self._channels = [ch for ch in vchannel.channels
                           if rank in ch.members]
         for ch in self._channels:
@@ -58,10 +63,43 @@ class VChannelEndpoint(MessageEndpoint):
         ep = channel.endpoint(self.rank)
         while True:
             announce, hop_src = yield ep.incoming.get()
+            if announce.mode == MODE_GTM and announce.striped:
+                # One rail of a stripe group: consume it here instead of
+                # surfacing a per-rail message to the application.  The
+                # rail identifies its group in its stripe record, read on
+                # the rail's own executor so the mover never blocks.
+                self._attach_stripe_rail(ep, announce, hop_src)
+                continue
             yield self.incoming.put((channel, announce, hop_src))
 
+    # -- stripe reassembly --------------------------------------------------------
+    def _attach_stripe_rail(self, ep, announce, hop_src: int) -> None:
+        rail = GTMIncoming(ep, announce, hop_src)
+        rail.read_stripe_record().add_callback(
+            lambda ev: self._join_stripe_group(rail, ev))
+
+    def _join_stripe_group(self, rail: GTMIncoming, ev: Event) -> None:
+        if not ev.ok:
+            if self.vchannel._injector is not None:
+                return   # rail died before identifying itself; recovery
+            raise ev.value
+        record = ev.value
+        key = (rail.origin, record.stripe_id)
+        group = self._stripe_groups.get(key)
+        if group is None:
+            group = StripedIncoming(self.vchannel, rail.origin,
+                                    record.stripe_id, record.total)
+            self._stripe_groups[key] = group
+            # The group surfaces to the application once, when its first
+            # rail arrives; the channel slot is None because the message
+            # spans several member channels.
+            self.incoming.put_nowait((None, group, rail.origin))
+        group.attach(record, rail)
+        if group.complete:
+            del self._stripe_groups[key]
+
     # -- user interface ---------------------------------------------------------
-    def begin_packing(self, dst: int) -> Union[OutgoingMessage, GTMOutgoing]:
+    def begin_packing(self, dst: int) -> Union[OutgoingMessage, GTMOutgoing, StripedOutgoing]:
         return self.vchannel._begin_packing(self.rank, dst)
 
     def begin_unpacking(self) -> Event:
@@ -73,6 +111,11 @@ class VChannelEndpoint(MessageEndpoint):
 
         def build(ev: Event) -> None:
             channel, announce, hop_src = ev.value
+            if channel is None:
+                # A reassembled stripe group (built by the mover); the
+                # announce slot already holds the StripedIncoming.
+                out.succeed(announce)
+                return
             ep = channel.endpoint(self.rank)
             if announce.mode == MODE_GTM:
                 out.succeed(GTMIncoming(ep, announce, hop_src))
@@ -93,7 +136,8 @@ class VirtualChannel:
                  gateway_params: Optional[GatewayParams] = None,
                  name: str = "", multirail: bool = False,
                  header_batching: bool = False,
-                 pipeline: Optional[PipelineConfig] = None) -> None:
+                 pipeline: Optional[PipelineConfig] = None,
+                 stripe_policy: Optional[StripePolicy] = None) -> None:
         if not channels:
             raise ValueError("a virtual channel needs at least one real channel")
         worlds = {id(ch.world) for ch in channels}
@@ -140,6 +184,23 @@ class VirtualChannel:
         #: calibrated paper figures were measured without it.
         self.header_batching = header_batching
         self._rail_counters: dict[tuple[int, int], int] = {}
+        #: transparent multirail striping: when set and several disjoint
+        #: rails exist between a pair, each large paquet is split across
+        #: them (§ docs/performance.md).  Orthogonal to ``multirail``
+        #: (round-robin), which spreads whole *messages*.
+        self.stripe_policy = stripe_policy
+        # (generation, rails, scheduler) per pair; rebuilt whenever the
+        # route table invalidates, so a revived rail rejoins the stripe
+        # set without anyone touching the cache by hand.
+        self._stripe_plans: dict[tuple[int, int],
+                                 tuple[int, list, StripeScheduler]] = {}
+        m = self.world.telemetry.metrics
+        self._m_stripes_sent = m.counter("vchannel.stripes_sent",
+                                         vchannel=self.name)
+        self._h_stripe_depth = m.histogram(
+            "vchannel.stripe_reassembly_depth",
+            bounds=(1.0, 2.0, 4.0, 8.0), vchannel=self.name)
+        self._rail_gauges: dict[int, object] = {}
         self.gateways = gateway_ranks(self.channels)
         self.workers: list[ForwardingWorker] = []
         for gw in self.gateways:
@@ -242,6 +303,40 @@ class VirtualChannel:
         self._rate_overrides = dict(rates)
         self._mtu_cache.clear()
 
+    def _rail_gauge(self, rail: int):
+        """Bytes currently in flight on rail ``rail`` of this channel's
+        stripe set (lazy: rails only exist once striping engages)."""
+        g = self._rail_gauges.get(rail)
+        if g is None:
+            g = self.world.telemetry.metrics.gauge(
+                "vchannel.rail_occupancy", vchannel=self.name, rail=rail)
+            self._rail_gauges[rail] = g
+        return g
+
+    def _stripe_rails(self, src: int,
+                      dst: int) -> tuple[list, Optional[StripeScheduler]]:
+        """The disjoint rail set (and its scheduler) for one pair.
+
+        Cached per pair, keyed by the route table's generation: any health
+        transition bumps the generation, so a failed rail drops out of the
+        stripe set at the next message and a revived one rejoins — no
+        manual invalidation.  The scheduler (and its backlog estimate) is
+        rebuilt on regeneration, which is exact: in-flight stripes of the
+        old rail set drain on their own connections.
+        """
+        key = (src, dst)
+        cached = self._stripe_plans.get(key)
+        gen = self.routes.generation
+        if cached is not None and cached[0] == gen:
+            return cached[1], cached[2]
+        rails = disjoint_routes(self.routes.all_routes(src, dst),
+                                self.stripe_policy.max_rails)
+        scheduler = (StripeScheduler(rails, self.stripe_policy,
+                                     self._rate_overrides)
+                     if len(rails) > 1 else None)
+        self._stripe_plans[key] = (gen, rails, scheduler)
+        return rails, scheduler
+
     def endpoint(self, rank: int) -> VChannelEndpoint:
         if rank not in self.routes.graph:
             raise KeyError(f"rank {rank} is not a member of {self.name!r}")
@@ -251,7 +346,7 @@ class VirtualChannel:
 
     # -- sending ------------------------------------------------------------------
     def begin_packing(self, src: int,
-                      dst: int) -> Union[OutgoingMessage, GTMOutgoing]:
+                      dst: int) -> Union[OutgoingMessage, GTMOutgoing, StripedOutgoing]:
         """Deprecated spelling of ``endpoint(src).begin_packing(dst)``.
 
         The two-argument form predates the unified
@@ -266,9 +361,13 @@ class VirtualChannel:
         return self._begin_packing(src, dst)
 
     def _begin_packing(self, src: int,
-                       dst: int) -> Union[OutgoingMessage, GTMOutgoing]:
+                       dst: int) -> Union[OutgoingMessage, GTMOutgoing, StripedOutgoing]:
         """Start a message; the real channel (and whether the GTM is needed)
         is chosen from the route, §2.2.1."""
+        if self.stripe_policy is not None:
+            rails, scheduler = self._stripe_rails(src, dst)
+            if scheduler is not None:
+                return StripedOutgoing(self, src, dst, rails, scheduler)
         route = self.routes.route(src, dst)
         if len(route) == 1:
             return route[0].channel.endpoint(src).begin_packing(dst)

@@ -24,11 +24,12 @@ from dataclasses import dataclass
 from .flags import RecvMode, SendMode
 
 __all__ = [
-    "Announce", "Descriptor",
+    "Announce", "Descriptor", "StripeRecord",
     "MODE_REGULAR", "MODE_GTM",
-    "ANNOUNCE_BYTES", "DESC_BYTES",
+    "ANNOUNCE_BYTES", "DESC_BYTES", "STRIPE_BYTES", "STRIPE_VERSION",
     "encode_announce", "decode_announce",
     "encode_descriptor", "decode_descriptor",
+    "encode_stripe", "decode_stripe",
 ]
 
 #: announce modes
@@ -37,12 +38,18 @@ MODE_GTM = 1        # message built by the Generic Transmission Module
 
 _ANNOUNCE_FMT = "<BHHHIB"          # mode, origin, final_dst, mtu_kb, msg_id, hops_left
 _DESC_FMT = "<IBBBx8x"             # length, send mode, recv mode, kind, padding
+_STRIPE_FMT = "<BxHHI6x"           # version, seq, total, stripe_id, padding
 
 _DESC_KIND_DATA = 0
 _DESC_KIND_TERMINATOR = 1
 
 ANNOUNCE_BYTES = struct.calcsize(_ANNOUNCE_FMT)   # 12
 DESC_BYTES = struct.calcsize(_DESC_FMT)           # 16
+STRIPE_BYTES = struct.calcsize(_STRIPE_FMT)       # 16
+
+#: wire version of the stripe record — bumped if the layout ever changes,
+#: so a mixed-version session fails loudly instead of misassembling.
+STRIPE_VERSION = 1
 
 _MTU_UNIT = 1024   # MTUs are whole KB on the wire (they are KB-sized powers of two)
 
@@ -50,6 +57,14 @@ _MTU_UNIT = 1024   # MTUs are whole KB on the wire (they are KB-sized powers of 
 #: buffer's descriptor record on that buffer's first fragment (§2.3's
 #: aggregation of control information with payload).
 _MODE_BATCHED_BIT = 0x80
+
+#: second-highest bit of the mode byte: this announce opens one *stripe* of
+#: a multirail message.  The rail's first body item is a
+#: :class:`StripeRecord` telling the receiver which reassembly group the
+#: rail belongs to; gateways forward the bit (and the record) untouched.
+_MODE_STRIPED_BIT = 0x40
+
+_MODE_FLAG_BITS = _MODE_BATCHED_BIT | _MODE_STRIPED_BIT
 
 #: wire field ceilings (exceeding one would silently wrap in struct.pack)
 _MAX_RANK = 0xFFFF            # origin / final_dst pack as H
@@ -70,6 +85,7 @@ class Announce:
     msg_id: int
     hops_left: int = 0         # remaining forwarding hops after this one
     batched: bool = False      # GTM header batching negotiated for the message
+    striped: bool = False      # this message is one stripe of a multirail group
 
     def __post_init__(self) -> None:
         if self.mode not in (MODE_REGULAR, MODE_GTM):
@@ -115,7 +131,8 @@ def encode_announce(a: Announce) -> bytes:
     _check_range("mtu", a.mtu, _MAX_MTU)
     _check_range("msg_id", a.msg_id, _MAX_MSG_ID)
     _check_range("hops_left", a.hops_left, _MAX_HOPS)
-    mode = a.mode | (_MODE_BATCHED_BIT if a.batched else 0)
+    mode = (a.mode | (_MODE_BATCHED_BIT if a.batched else 0)
+            | (_MODE_STRIPED_BIT if a.striped else 0))
     return struct.pack(_ANNOUNCE_FMT, mode, a.origin, a.final_dst,
                        a.mtu // _MTU_UNIT, a.msg_id, a.hops_left)
 
@@ -129,10 +146,11 @@ def decode_announce(raw: bytes) -> Announce:
             f"got {len(raw)}")
     mode, origin, final_dst, mtu_kb, msg_id, hops_left = struct.unpack(
         _ANNOUNCE_FMT, raw)
-    return Announce(mode=mode & ~_MODE_BATCHED_BIT, origin=origin,
+    return Announce(mode=mode & ~_MODE_FLAG_BITS, origin=origin,
                     final_dst=final_dst, mtu=mtu_kb * _MTU_UNIT,
                     msg_id=msg_id, hops_left=hops_left,
-                    batched=bool(mode & _MODE_BATCHED_BIT))
+                    batched=bool(mode & _MODE_BATCHED_BIT),
+                    striped=bool(mode & _MODE_STRIPED_BIT))
 
 
 def encode_descriptor(d: Descriptor) -> bytes:
@@ -155,3 +173,61 @@ def decode_descriptor(raw: bytes) -> Descriptor:
     return Descriptor(length=length, smode=SendMode(smode),
                       rmode=RecvMode(rmode),
                       terminator=kind == _DESC_KIND_TERMINATOR)
+
+
+_MAX_STRIPE_ID = 0xFFFF_FFFF   # stripe_id packs as I
+_MAX_STRIPE_SEQ = 0xFFFF       # seq / total pack as H
+
+
+@dataclass(frozen=True)
+class StripeRecord:
+    """Reassembly header of one multirail stripe.
+
+    Sent as the first body item of a striped message (announce mode byte
+    carries the striped bit), it tells the final receiver that this rail is
+    stripe ``seq`` of the ``total``-rail group ``(origin, stripe_id)``.
+    Gateways forward it like any other item.
+    """
+
+    stripe_id: int             # group id, unique per origin
+    seq: int                   # this rail's index within the group
+    total: int                 # number of rails in the group
+    version: int = STRIPE_VERSION
+
+    def __post_init__(self) -> None:
+        if self.total < 1:
+            raise ValueError(f"stripe group needs >= 1 rail, got {self.total}")
+        if not 0 <= self.seq < self.total:
+            raise ValueError(
+                f"stripe seq {self.seq} outside group of {self.total}")
+
+
+def encode_stripe(s: StripeRecord) -> bytes:
+    """Encode; raises :class:`ValueError` on any value that would silently
+    wrap in its fixed-width wire field."""
+    for what, value, limit in (("stripe_id", s.stripe_id, _MAX_STRIPE_ID),
+                               ("seq", s.seq, _MAX_STRIPE_SEQ),
+                               ("total", s.total, _MAX_STRIPE_SEQ),
+                               ("version", s.version, 0xFF)):
+        if not 0 <= value <= limit:
+            raise ValueError(
+                f"stripe {what}={value} does not fit the wire field "
+                f"(0..{limit}); refusing to emit a corrupt record")
+    return struct.pack(_STRIPE_FMT, s.version, s.seq, s.total, s.stripe_id)
+
+
+def decode_stripe(raw: bytes) -> StripeRecord:
+    """Decode a stripe record; ``raw`` must be exactly the record and carry
+    a known version."""
+    raw = bytes(raw)
+    if len(raw) != STRIPE_BYTES:
+        raise ValueError(
+            f"stripe record must be exactly {STRIPE_BYTES} bytes, "
+            f"got {len(raw)}")
+    version, seq, total, stripe_id = struct.unpack(_STRIPE_FMT, raw)
+    if version != STRIPE_VERSION:
+        raise ValueError(
+            f"unknown stripe-record version {version} "
+            f"(this build speaks version {STRIPE_VERSION})")
+    return StripeRecord(stripe_id=stripe_id, seq=seq, total=total,
+                        version=version)

@@ -4,10 +4,13 @@ from .graph import build_graph, gateway_ranks
 from .mtu import (MIN_MTU, MTU_GRANULARITY, fragment_knee,
                   negotiate_mtu, tune_fragment_size)
 from .routes import Hop, NoRouteError, RouteTable
+from .striping import (StripePolicy, StripeScheduler, disjoint_routes,
+                       route_rate)
 
 __all__ = [
     "build_graph", "gateway_ranks",
     "MIN_MTU", "MTU_GRANULARITY", "fragment_knee", "negotiate_mtu",
     "tune_fragment_size",
     "Hop", "NoRouteError", "RouteTable",
+    "StripePolicy", "StripeScheduler", "disjoint_routes", "route_rate",
 ]

@@ -17,6 +17,7 @@ returned; when no surviving path exists the table raises
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
@@ -47,6 +48,13 @@ class Hop:
         return f"<Hop {self.src}->{self.dst} via {self.channel.id}>"
 
 
+def _route_key(hops: list[Hop]) -> tuple:
+    """Deterministic ordering of parallel routes: hop count, then the
+    per-hop channel-id sequence, then the rank sequence."""
+    return (len(hops), tuple(h.channel.id for h in hops),
+            tuple(h.src for h in hops) + (hops[-1].dst,))
+
+
 def _channel_id(channel: Union["RealChannel", str]) -> str:
     cid = channel if isinstance(channel, str) else channel.id
     # The special (forwarding) twin of a channel shares its physical rail:
@@ -66,6 +74,7 @@ class RouteTable:
         self._down_channels: set[str] = set()
         self._down_nodes: set[int] = set()
         self._active: nx.MultiGraph | None = None
+        self._generation = 0
         if telemetry is None:
             from ..telemetry import NULL_TELEMETRY
             telemetry = NULL_TELEMETRY
@@ -79,6 +88,17 @@ class RouteTable:
         return sorted(self.graph.nodes)
 
     # -- health -------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every cache invalidation.
+
+        Consumers that derive state from routes (the multirail stripe
+        scheduler caches its rail set) compare generations instead of
+        subscribing to health events, so a revived rail is picked up again
+        without anyone calling :meth:`invalidate` by hand.
+        """
+        return self._generation
+
     def invalidate(self) -> None:
         """Drop all cached routes (and the cached surviving subgraph).
 
@@ -87,26 +107,49 @@ class RouteTable:
         """
         self._cache.clear()
         self._active = None
+        self._generation += 1
         self._m_invalidations.inc()
 
     def mark_down(self, channel: Union["RealChannel", str]) -> None:
-        """Record that ``channel`` (or its forwarding twin) is unusable."""
-        self._down_channels.add(_channel_id(channel))
+        """Record that ``channel`` (or its forwarding twin) is unusable.
+
+        Idempotent: re-marking a channel that is already down is a no-op —
+        no spurious transition count, no cache invalidation.
+        """
+        cid = _channel_id(channel)
+        if cid in self._down_channels:
+            return
+        self._down_channels.add(cid)
         self._m_down.inc()
         self.invalidate()
 
     def mark_up(self, channel: Union["RealChannel", str]) -> None:
-        self._down_channels.discard(_channel_id(channel))
+        """Record that ``channel`` (or its forwarding twin) came back.
+
+        A real down->up transition invalidates the route cache, so routes
+        (and the stripe scheduler's rail set) immediately include the
+        revived rail; marking an already-live channel up is a no-op.
+        """
+        cid = _channel_id(channel)
+        if cid not in self._down_channels:
+            return
+        self._down_channels.discard(cid)
         self._m_up.inc()
         self.invalidate()
 
     def mark_node_down(self, rank: int) -> None:
         """Record that a rank (typically a crashed gateway) is unusable."""
+        if rank in self._down_nodes:
+            return
         self._down_nodes.add(rank)
         self._m_down.inc()
         self.invalidate()
 
     def mark_node_up(self, rank: int) -> None:
+        """Record that a rank restarted; same transition-only semantics as
+        :meth:`mark_up`."""
+        if rank not in self._down_nodes:
+            return
         self._down_nodes.discard(rank)
         self._m_up.inc()
         self.invalidate()
@@ -159,7 +202,16 @@ class RouteTable:
 
     def all_routes(self, src: int, dst: int) -> list[list[Hop]]:
         """Every minimum-hop route, deterministically ordered — the
-        parallel *rails* a multi-gateway configuration offers."""
+        parallel *rails* a multi-gateway (or multi-NIC) configuration
+        offers.
+
+        Unlike :meth:`route`, parallel edges are not collapsed: a node pair
+        joined by two live channels contributes one route per channel, so
+        dual-NIC rails are enumerated too.  The order is a stable
+        tie-break on (hop count, per-hop channel-id sequence, rank
+        sequence), independent of graph insertion order — stripe scheduling
+        and benches reproduce across runs.
+        """
         if src == dst:
             raise ValueError("route to self")
         g = self.active_graph
@@ -167,10 +219,25 @@ class RouteTable:
             if rank not in g:
                 raise self._unreachable(rank)
         try:
-            paths = sorted(nx.all_shortest_paths(g, src, dst))
+            paths = list(nx.all_shortest_paths(g, src, dst))
         except nx.NetworkXNoPath:
             raise self._no_path(src, dst) from None
-        return [self._hops_for(path) for path in paths]
+        routes: list[list[Hop]] = []
+        for path in paths:
+            routes.extend(self._expand_path(path))
+        routes.sort(key=_route_key)
+        return routes
+
+    def _expand_path(self, path: list[int]) -> list[list[Hop]]:
+        """All hop sequences along one node path: the cartesian product of
+        the live parallel channels of each consecutive pair."""
+        g = self.active_graph
+        choices = []
+        for a, b in zip(path, path[1:]):
+            data = g.get_edge_data(a, b)
+            choices.append([Hop(channel=data[k]["channel"], src=a, dst=b)
+                            for k in sorted(data.keys())])
+        return [list(combo) for combo in itertools.product(*choices)]
 
     def next_hop(self, at: int, dst: int) -> Hop:
         """The hop a node (typically a gateway) takes toward ``dst``."""

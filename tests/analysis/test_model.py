@@ -116,3 +116,55 @@ def test_credit_model_matches_simulation():
     harness = PingHarness(packet_size=32 << 10, pipeline=pipe)
     measured = harness.measure(8 << 20, direction="b0->a0").bandwidth
     assert measured == pytest.approx(pred.bandwidth, rel=0.10)
+
+
+# -- multirail aggregate bandwidth --------------------------------------------
+
+def test_multirail_validation_and_degenerate_case():
+    from repro.analysis import predict_multirail
+    with pytest.raises(ValueError, match="rails"):
+        predict_multirail(MYRINET, SCI, 8 << 10, rails=0)
+    one = predict_multirail(MYRINET, SCI, 8 << 10, rails=1)
+    single = predict_forwarding(MYRINET, SCI, 8 << 10)
+    # one rail is exactly the single-gateway pipeline, speedup 1
+    assert one.aggregate == pytest.approx(single.bandwidth)
+    assert one.speedup == pytest.approx(1.0)
+
+
+def test_multirail_aggregate_bends_below_linear():
+    from repro.analysis import predict_multirail
+    two = predict_multirail(MYRINET, SCI, 8 << 10, rails=2)
+    three = predict_multirail(MYRINET, SCI, 8 << 10, rails=3)
+    assert 1.0 < two.speedup <= 2.0
+    assert two.speedup < three.speedup < 3.0
+    # diminishing returns: the end-host PCI fair share stretches each rail
+    assert three.speedup / three.rails < two.speedup / two.rails
+
+
+@pytest.mark.parametrize("rails", [1, 2, 3])
+def test_multirail_model_matches_simulation(rails):
+    from repro.analysis import predict_multirail
+    from repro.bench import MultirailHarness
+    from repro.routing import StripePolicy
+    packet = 8 << 10
+    message = 2 << 20
+    pred = predict_multirail(MYRINET, SCI, packet, rails=rails,
+                             message=message)
+    policy = StripePolicy(max_rails=rails) if rails > 1 else None
+    harness = MultirailHarness(packet_size=packet, rails=rails,
+                               stripe_policy=policy)
+    measured = harness.measure(message).bandwidth
+    assert measured == pytest.approx(pred.bandwidth, rel=0.05)
+
+
+def test_multirail_acceptance_gain():
+    """Headline: dual-gateway striped bandwidth >= 1.7x single-rail at
+    8 KB paquets."""
+    from repro.bench import MultirailHarness
+    from repro.routing import StripePolicy
+    single = MultirailHarness(packet_size=8 << 10, rails=1)
+    dual = MultirailHarness(packet_size=8 << 10, rails=2,
+                            stripe_policy=StripePolicy(max_rails=2))
+    bw1 = single.measure(2 << 20).bandwidth
+    bw2 = dual.measure(2 << 20).bandwidth
+    assert bw2 >= 1.7 * bw1

@@ -154,3 +154,87 @@ def test_descriptor_roundtrip_property(length, smode, rmode, terminator):
     got = decode_descriptor(encode_descriptor(d))
     assert got == d
     assert got.is_terminator == terminator
+
+
+# ---------------------------------------------------------------- stripes
+
+
+def test_stripe_sizes_documented():
+    from repro.madeleine import STRIPE_BYTES
+    assert STRIPE_BYTES == 16
+
+
+def test_stripe_roundtrip_basic():
+    from repro.madeleine import StripeRecord, decode_stripe, encode_stripe
+    s = StripeRecord(stripe_id=77, seq=1, total=3)
+    assert decode_stripe(encode_stripe(s)) == s
+
+
+def test_stripe_rejects_seq_outside_group():
+    from repro.madeleine import StripeRecord
+    with pytest.raises(ValueError, match="seq"):
+        StripeRecord(stripe_id=1, seq=2, total=2)
+    with pytest.raises(ValueError, match="seq"):
+        StripeRecord(stripe_id=1, seq=-1, total=2)
+    with pytest.raises(ValueError, match="rail"):
+        StripeRecord(stripe_id=1, seq=0, total=0)
+
+
+@pytest.mark.parametrize("field,value", [
+    ("stripe_id", 2**32), ("stripe_id", -1),
+    ("total", 0x10000),
+])
+def test_encode_stripe_rejects_out_of_range_fields(field, value):
+    from repro.madeleine import StripeRecord, encode_stripe
+    kwargs = dict(stripe_id=1, seq=0, total=2)
+    kwargs[field] = value
+    with pytest.raises(ValueError, match=field):
+        encode_stripe(StripeRecord(**kwargs))
+
+
+def test_decode_stripe_rejects_wrong_length():
+    from repro.madeleine import (STRIPE_BYTES, StripeRecord, decode_stripe,
+                                 encode_stripe)
+    raw = encode_stripe(StripeRecord(stripe_id=9, seq=0, total=2))
+    with pytest.raises(ValueError, match=f"exactly {STRIPE_BYTES} bytes"):
+        decode_stripe(raw[:-1])
+    with pytest.raises(ValueError, match=f"exactly {STRIPE_BYTES} bytes"):
+        decode_stripe(raw + b"\x00")
+    with pytest.raises(ValueError, match=f"exactly {STRIPE_BYTES} bytes"):
+        decode_stripe(b"")
+
+
+def test_decode_stripe_rejects_unknown_version():
+    # A record from a future (or corrupted) build must fail loudly rather
+    # than be misassembled into the wrong group.
+    from repro.madeleine import StripeRecord, decode_stripe, encode_stripe
+    from repro.madeleine.wire import _STRIPE_FMT
+    import struct
+    raw = encode_stripe(StripeRecord(stripe_id=9, seq=0, total=2))
+    _v, seq, total, sid = struct.unpack(_STRIPE_FMT, raw)
+    bad = struct.pack(_STRIPE_FMT, 42, seq, total, sid)
+    with pytest.raises(ValueError, match="version 42"):
+        decode_stripe(bad)
+
+
+def test_announce_striped_flag_roundtrip():
+    a = Announce(mode=MODE_GTM, origin=2, final_dst=5, mtu=16 << 10,
+                 msg_id=99, hops_left=2, striped=True)
+    got = decode_announce(encode_announce(a))
+    assert got == a
+    assert got.striped and not got.batched
+    assert got.mode == MODE_GTM
+    # both flag bits together decode independently
+    both = decode_announce(encode_announce(
+        Announce(mode=MODE_GTM, origin=2, final_dst=5, mtu=16 << 10,
+                 msg_id=99, hops_left=2, striped=True, batched=True)))
+    assert both.striped and both.batched and both.mode == MODE_GTM
+
+
+@given(stripe_id=st.integers(0, 2**32 - 1),
+       total=st.integers(1, 0xFFFF))
+def test_stripe_roundtrip_property(stripe_id, total):
+    from repro.madeleine import StripeRecord, decode_stripe, encode_stripe
+    for seq in {0, total - 1, total // 2}:
+        s = StripeRecord(stripe_id=stripe_id, seq=seq, total=total)
+        assert decode_stripe(encode_stripe(s)) == s
