@@ -336,6 +336,38 @@ def cmd_bench(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_fuzz(args) -> int:
+    from .fuzz import load_repro, minimize_scenario, run_campaign, run_scenario
+
+    if args.replay:
+        scenario = load_repro(args.replay)
+        if args.minimize:
+            result = run_scenario(scenario)
+            if not result.ok:
+                scenario = minimize_scenario(
+                    scenario, result.failures[0].invariant,
+                    progress=lambda msg: print(msg, flush=True))
+        result = run_scenario(scenario)
+        print(f"replay {args.replay}: {scenario.describe()}")
+        for key, value in sorted(result.stats.items()):
+            print(f"  {key:12s} {value}")
+        if result.ok:
+            print("  PASS: no invariant violated")
+            return 0
+        for f in result.failures:
+            print(f"  {f}")
+        return 1
+
+    report = run_campaign(
+        runs=args.runs, seed_base=args.seed,
+        time_budget=args.time_budget,
+        minimize=not args.no_minimize,
+        out_dir=args.out_dir,
+        progress=lambda msg: print(msg, flush=True))
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_trace(args) -> int:
     from .analysis import write_chrome_trace, write_spans_chrome
 
@@ -433,6 +465,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --sweep-pipeline/--sweep-rails: also write "
                         "the sweep table as JSON to this path")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="coverage-guided scenario fuzzer (invariants of "
+             "docs/robustness.md)")
+    p.add_argument("--runs", type=int, default=100,
+                   help="number of scenarios to execute")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed: run i uses seed+i")
+    p.add_argument("--time-budget", type=float, default=None, metavar="S",
+                   help="stop after S wall-clock seconds even if --runs "
+                        "remain")
+    p.add_argument("--replay", metavar="FILE",
+                   help="re-execute one repro file instead of a campaign")
+    p.add_argument("--minimize", action="store_true",
+                   help="with --replay: shrink the scenario first if it "
+                        "still fails")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="campaign mode: save failures unminimized")
+    p.add_argument("--out-dir", default="fuzz-corpus", metavar="DIR",
+                   help="directory for repro files of failing scenarios")
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser(
         "trace", help="Chrome about:tracing export of one forwarded transfer")

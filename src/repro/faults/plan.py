@@ -83,11 +83,91 @@ class FaultPlan:
     link_events: Sequence[LinkEvent] = ()
     node_events: Sequence[NodeEvent] = ()
 
+    def validate(self, world: Optional["World"] = None) -> None:
+        """Raise :class:`ValueError` on an unexecutable schedule.
+
+        Checks event times are non-negative always; given a world, also
+        resolves every node-event key and (when any channels exist) every
+        link-event channel id, so a typo fails loudly here instead of as a
+        ``KeyError`` deep inside a driver process mid-run.  The ``channels``
+        probability map is *not* checked against the world: plans armed via
+        ``Session(fault_plan=...)`` legitimately name channels created
+        later, and an unmatched entry is inert, not a crash.
+        """
+        from .injector import base_channel_id
+        problems = []
+        for ev in (*self.link_events, *self.node_events):
+            if ev.time < 0:
+                problems.append(f"event time must be >= 0, got {ev!r}")
+        if world is not None:
+            for ev in self.node_events:
+                try:
+                    world.node(ev.node)
+                except KeyError:
+                    problems.append(
+                        f"node event references unknown node {ev.node!r} "
+                        f"(known: {sorted(world.names)})")
+            # Link events only make sense once channels exist; an empty
+            # registry means the plan is being armed pre-channel (the
+            # Session(fault_plan=...) path) and link targets cannot be
+            # checked yet — such plans should be armed after channel
+            # creation anyway, as tools/chaos.py does.
+            if world.channel_ids:
+                known = {base_channel_id(c) for c in world.channel_ids}
+                for ev in self.link_events:
+                    if base_channel_id(ev.channel) not in known:
+                        problems.append(
+                            f"link event references unknown channel "
+                            f"{ev.channel!r} (known: {sorted(known)})")
+            elif self.link_events:
+                problems.append(
+                    "plan has link events but the world has no channels "
+                    "yet; build the channels first, then arm")
+        if problems:
+            raise ValueError("invalid fault plan: " + "; ".join(problems))
+
     def arm(self, world: "World") -> "FaultInjector":
         """Attach this plan to ``world``; returns the live injector."""
         from .injector import FaultInjector
         if world.fabric.injector is not None:
             raise RuntimeError("a fault plan is already armed on this world")
+        self.validate(world)
         injector = FaultInjector(world, self)
         world.fabric.injector = injector
         return injector
+
+    # -- corpus serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict; exact inverse of :meth:`from_dict`."""
+        return {
+            "seed": self.seed,
+            "channels": {cid: {"drop_p": cf.drop_p,
+                               "corrupt_p": cf.corrupt_p,
+                               "delay_p": cf.delay_p,
+                               "delay_us": cf.delay_us}
+                         for cid, cf in self.channels.items()},
+            "default": (None if self.default is None else
+                        {"drop_p": self.default.drop_p,
+                         "corrupt_p": self.default.corrupt_p,
+                         "delay_p": self.default.delay_p,
+                         "delay_us": self.default.delay_us}),
+            "link_events": [{"time": ev.time, "channel": ev.channel,
+                             "up": ev.up} for ev in self.link_events],
+            "node_events": [{"time": ev.time, "node": ev.node,
+                             "up": ev.up} for ev in self.node_events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultPlan":
+        """Rebuild a plan serialized by :meth:`to_dict` (fuzz corpus files)."""
+        default = data.get("default")
+        return cls(
+            seed=int(data.get("seed", 0)),
+            channels={cid: ChannelFaults(**cf)
+                      for cid, cf in data.get("channels", {}).items()},
+            default=None if default is None else ChannelFaults(**default),
+            link_events=tuple(LinkEvent(**ev)
+                              for ev in data.get("link_events", ())),
+            node_events=tuple(NodeEvent(**ev)
+                              for ev in data.get("node_events", ())),
+        )

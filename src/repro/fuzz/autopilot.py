@@ -1,0 +1,107 @@
+"""The campaign loop behind ``repro fuzz``.
+
+Coverage-guided exploration: each iteration either draws a fresh random
+scenario or mutates one that previously exhibited a *new* behaviour
+signature (see :meth:`~repro.fuzz.executor._Run.signature`).  Failing
+scenarios are minimized and written as repro files; the campaign keeps
+going so one bug does not hide the next, and the report carries every
+failure for the caller to exit nonzero on.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .corpus import repro_name, save_repro
+from .executor import run_scenario
+from .generate import mutate_scenario, random_scenario
+from .minimize import minimize_scenario
+from .scenario import Scenario
+
+__all__ = ["CampaignReport", "run_campaign"]
+
+
+@dataclass
+class CampaignReport:
+    runs: int = 0
+    #: scenarios whose signature added at least one unseen feature.
+    interesting: int = 0
+    features: set = field(default_factory=set)
+    #: (seed, invariant, repro path or None) per failing scenario.
+    failures: list = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [f"fuzz campaign: {self.runs} run(s), "
+                 f"{self.interesting} coverage-novel, "
+                 f"{len(self.features)} feature(s), "
+                 f"{len(self.failures)} failure(s) "
+                 f"in {self.elapsed:.1f}s"]
+        for seed, invariant, path in self.failures:
+            where = f" -> {path}" if path else ""
+            lines.append(f"  FAILED seed={seed} invariant={invariant}{where}")
+        return "\n".join(lines)
+
+
+def run_campaign(runs: int = 100, seed_base: int = 0,
+                 time_budget: Optional[float] = None,
+                 minimize: bool = True,
+                 out_dir: Optional[pathlib.Path] = None,
+                 progress: Optional[Callable[[str], None]] = None,
+                 ) -> CampaignReport:
+    """Run up to ``runs`` scenarios (stopping early on ``time_budget``
+    seconds), minimizing and saving each failure under ``out_dir``."""
+    say = progress or (lambda _msg: None)
+    report = CampaignReport()
+    corpus: list[Scenario] = []     # coverage-novel scenarios to mutate
+    rng = random.Random(seed_base)
+    t0 = time.monotonic()
+    for i in range(runs):
+        if time_budget is not None and time.monotonic() - t0 > time_budget:
+            say(f"time budget ({time_budget:.0f}s) exhausted after "
+                f"{report.runs} runs")
+            break
+        seed = seed_base + i
+        if corpus and rng.random() < 0.5:
+            scenario = mutate_scenario(rng.choice(corpus), seed)
+        else:
+            scenario = random_scenario(seed)
+        result = run_scenario(scenario)
+        report.runs += 1
+        novel = result.features - report.features
+        if novel:
+            report.features |= result.features
+            report.interesting += 1
+            corpus.append(scenario)
+            say(f"[{i}] {scenario.describe()} -> +{len(novel)} feature(s)")
+        if not result.ok:
+            say(f"[{i}] FAILURE {result.failures[0]} "
+                f"({scenario.describe()})")
+            final = result
+            if minimize:
+                invariant = result.failures[0].invariant
+                small = minimize_scenario(scenario, invariant,
+                                          progress=progress)
+                final = run_scenario(small)
+                if final.ok:    # flaky under shrinking: keep the original
+                    final = result
+            path = None
+            if out_dir is not None:
+                path = pathlib.Path(out_dir) / repro_name(final)
+                save_repro(path, final)
+                say(f"  repro written to {path}")
+            report.failures.append(
+                (final.scenario.seed,
+                 final.failures[0].invariant if final.failures
+                 else result.failures[0].invariant,
+                 str(path) if path else None))
+    report.elapsed = time.monotonic() - t0
+    return report

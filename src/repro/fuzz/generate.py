@@ -1,0 +1,212 @@
+"""Seeded scenario generation and corpus mutation.
+
+Everything is a pure function of its seed: ``random_scenario(seed)`` (and
+``mutate_scenario(base, seed)``) build the same :class:`Scenario` on every
+call, so a failing seed in a corpus file *is* the bug report.  Mutations
+keep the structural invariants of the scenario schema; any mutation that
+would produce an invalid configuration falls back to a fresh random
+scenario rather than dying in ``validate``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..faults import ChannelFaults, FaultPlan, LinkEvent, NodeEvent
+from .scenario import MessageSpec, Scenario, Topology
+
+__all__ = ["random_scenario", "mutate_scenario"]
+
+#: fixed draw order → stable scenarios across python/dict-order changes.
+_PROTOS = ("myrinet", "sci", "sbp", "gigabit_tcp", "fast_ethernet")
+_PACKET_SIZES = (4 << 10, 8 << 10, 16 << 10, 32 << 10)
+_MAX_MSG_BYTES = 120_000
+
+
+def _chain_topology(rng: random.Random) -> Topology:
+    n_clusters = rng.choice((2, 2, 2, 3))
+    protos = [rng.choice(_PROTOS)]
+    while len(protos) < n_clusters:
+        protos.append(rng.choice([p for p in _PROTOS if p != protos[-1]]))
+    sizes = tuple(rng.choice((1, 1, 2)) for _ in range(n_clusters))
+    gateways = tuple(rng.choice((1, 1, 2)) for _ in range(n_clusters - 1))
+    return Topology(kind="chain", protocols=tuple(protos), sizes=sizes,
+                    gateways=gateways)
+
+
+def _multirail_topology(rng: random.Random) -> Topology:
+    pa = rng.choice(_PROTOS)
+    pb = rng.choice([p for p in _PROTOS if p != pa])
+    return Topology(kind="multirail", protocols=(pa, pb),
+                    gateways=(rng.choice((2, 2, 3)),))
+
+
+def _draw_messages(rng: random.Random, topo: Topology,
+                   quiet: bool) -> tuple[MessageSpec, ...]:
+    endpoints = topo.endpoint_names()
+    if topo.kind == "multirail":
+        sources, sinks = ["a0"], ["b0"]
+    else:
+        # Cross-cluster traffic exercises the forwarding path; first and
+        # last clusters are always on different protocols.
+        first = topo.sizes[0]
+        sources, sinks = endpoints[:first], endpoints[-topo.sizes[-1]:]
+    # One kind per scenario: a ReliableEndpoint owns its rank's whole
+    # incoming stream, so plain and reliable traffic cannot share ranks.
+    kind = "plain" if quiet and rng.random() < 0.4 else "reliable"
+    out = []
+    for _ in range(rng.randint(1, 5)):
+        src = rng.choice(sources)
+        dst = rng.choice(sinks)
+        # Log-uniform sizes: single-fragment paquets are as interesting as
+        # multi-attempt monsters.
+        nbytes = int(2 ** rng.uniform(0, _MAX_MSG_BYTES.bit_length() - 1))
+        out.append(MessageSpec(src=src, dst=dst, nbytes=max(1, nbytes),
+                               kind=kind))
+    return tuple(out)
+
+
+def _draw_faults(rng: random.Random, topo: Topology, seed: int) -> FaultPlan:
+    if rng.random() < 0.25:
+        return FaultPlan(seed=seed)          # fault-free control group
+    channels = {}
+    for cid in topo.channel_names():
+        if rng.random() < 0.6:
+            channels[cid] = ChannelFaults(
+                drop_p=round(rng.uniform(0.0, 0.05), 4),
+                corrupt_p=round(rng.uniform(0.0, 0.02), 4),
+                delay_p=round(rng.uniform(0.0, 0.1), 4),
+                delay_us=round(rng.uniform(0.0, 200.0), 1))
+    link_events: list[LinkEvent] = []
+    node_events: list[NodeEvent] = []
+    if rng.random() < 0.3 and topo.channel_names():
+        cid = rng.choice(topo.channel_names())
+        down = round(rng.uniform(1_000.0, 30_000.0), 1)
+        link_events.append(LinkEvent(time=down, channel=cid))
+        link_events.append(LinkEvent(
+            time=down + round(rng.uniform(2_000.0, 20_000.0), 1),
+            channel=cid, up=True))
+    if rng.random() < 0.35:
+        gw = rng.choice(topo.gateway_names())
+        crash = round(rng.uniform(1_000.0, 20_000.0), 1)
+        node_events.append(NodeEvent(time=crash, node=gw))
+        if rng.random() < 0.6:
+            node_events.append(NodeEvent(
+                time=crash + round(rng.uniform(5_000.0, 60_000.0), 1),
+                node=gw, up=True))
+    return FaultPlan(seed=seed, channels=channels,
+                     link_events=tuple(link_events),
+                     node_events=tuple(node_events))
+
+
+def random_scenario(seed: int) -> Scenario:
+    """A valid scenario, a pure function of ``seed``."""
+    rng = random.Random(seed)
+    if rng.random() < 0.3:
+        topo = _multirail_topology(rng)
+    else:
+        topo = _chain_topology(rng)
+    faults = _draw_faults(rng, topo, seed)
+    quiet = (not faults.link_events and not faults.node_events
+             and all(cf.quiet for cf in faults.channels.values()))
+    pipeline = None
+    if rng.random() < 0.6:
+        depth = rng.randint(2, 4)
+        lockstep = depth == 2 and rng.random() < 0.3
+        credits = depth if lockstep else rng.randint(1, depth)
+        pipeline = (depth, credits, lockstep)
+    parallel = (topo.kind == "multirail"
+                or all(g >= 2 for g in topo.gateways))
+    stripe = None
+    if topo.kind == "multirail" and rng.random() < 0.4:
+        stripe = (rng.randint(2, topo.rails), 4 << 10)
+    scenario = Scenario(
+        seed=seed,
+        topology=topo,
+        packet_size=rng.choice(_PACKET_SIZES),
+        header_batching=rng.random() < 0.3,
+        multirail=(stripe is None and parallel and rng.random() < 0.4),
+        pipeline=pipeline,
+        stripe=stripe,
+        messages=_draw_messages(rng, topo, quiet),
+        faults=faults,
+        max_attempts=rng.randint(6, 10),
+        gw_stall_timeout=5_000.0,
+    )
+    scenario.validate()
+    return scenario
+
+
+# -- mutation -------------------------------------------------------------------
+def _mutate_once(rng: random.Random, s: Scenario) -> Optional[Scenario]:
+    """One structural tweak; None when the chosen op is inapplicable."""
+    op = rng.randrange(10)
+    if op == 0 and s.messages:                       # resize a message
+        i = rng.randrange(len(s.messages))
+        m = s.messages[i]
+        nbytes = max(1, m.nbytes * 2 if rng.random() < 0.5 else m.nbytes // 2)
+        msgs = list(s.messages)
+        msgs[i] = MessageSpec(m.src, m.dst, nbytes, m.kind)
+        return s.with_(messages=tuple(msgs))
+    if op == 1 and s.messages:                       # duplicate a message
+        m = rng.choice(s.messages)
+        return s.with_(messages=s.messages + (m,))
+    if op == 2 and len(s.messages) > 1:              # drop a message
+        i = rng.randrange(len(s.messages))
+        return s.with_(messages=s.messages[:i] + s.messages[i + 1:])
+    if op == 3:                                      # packet size step
+        return s.with_(packet_size=rng.choice(_PACKET_SIZES))
+    if op == 4:                                      # toggle batching
+        return s.with_(header_batching=not s.header_batching)
+    if op == 5:                                      # redraw the pipeline
+        depth = rng.randint(2, 4)
+        lockstep = depth == 2 and rng.random() < 0.3
+        credits = depth if lockstep else rng.randint(1, depth)
+        return s.with_(pipeline=None if rng.random() < 0.25
+                       else (depth, credits, lockstep))
+    if op == 6:                                      # redraw the fault plan
+        plan = _draw_faults(rng, s.topology, rng.randrange(1 << 30))
+        quiet = (not plan.link_events and not plan.node_events
+                 and all(cf.quiet for cf in plan.channels.values()))
+        msgs = s.messages
+        if not quiet:
+            msgs = tuple(MessageSpec(m.src, m.dst, m.nbytes, "reliable")
+                         for m in msgs)
+        return s.with_(faults=plan, messages=msgs)
+    if op == 7 and s.faults.node_events:             # drop one fault event
+        evs = list(s.faults.node_events)
+        evs.pop(rng.randrange(len(evs)))
+        return s.with_(faults=FaultPlan(
+            seed=s.faults.seed, channels=dict(s.faults.channels),
+            default=s.faults.default, link_events=s.faults.link_events,
+            node_events=tuple(evs)))
+    if op == 8:                                      # payload reseed
+        return s.with_(seed=rng.randrange(1 << 30))
+    if op == 9:                                      # fresh topology, same knobs
+        return None
+    return None
+
+
+def mutate_scenario(base: Scenario, seed: int) -> Scenario:
+    """1..3 structural tweaks of ``base``; a pure function of the pair.
+
+    Falls back to :func:`random_scenario` when every tweak comes out
+    inapplicable or invalid — the campaign loop never sees an exception
+    from here.
+    """
+    rng = random.Random(f"mutate:{base.seed}:{seed}")
+    s = base
+    changed = False
+    for _ in range(rng.randint(1, 3)):
+        candidate = _mutate_once(rng, s)
+        if candidate is None:
+            continue
+        try:
+            candidate.validate()
+        except ValueError:
+            continue
+        s, changed = candidate, True
+    if not changed:
+        return random_scenario(seed)
+    return s

@@ -1,0 +1,158 @@
+"""Greedy scenario shrinking.
+
+Given a scenario that violates some invariant, repeatedly try structurally
+smaller variants and keep any that still violates the *same* invariant
+(detail text may differ — fewer nodes move timestamps around).  The passes
+run to a fixed point under a total execution budget, so minimization always
+terminates even when the failure is flaky under shrinking.
+
+Pass order matters for output quality: coarse structure first (messages,
+fault events, topology width), then magnitudes (sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from ..faults import FaultPlan
+from .executor import run_scenario
+from .scenario import MessageSpec, Scenario, Topology
+
+__all__ = ["minimize_scenario"]
+
+
+def _with_faults(s: Scenario, **kw) -> Scenario:
+    f = s.faults
+    merged = dict(seed=f.seed, channels=dict(f.channels), default=f.default,
+                  link_events=f.link_events, node_events=f.node_events)
+    merged.update(kw)
+    return s.with_(faults=FaultPlan(**merged))
+
+
+def _drop_messages(s: Scenario) -> Iterator[Scenario]:
+    for i in range(len(s.messages)):
+        if len(s.messages) > 1:
+            yield s.with_(messages=s.messages[:i] + s.messages[i + 1:])
+
+
+def _drop_fault_events(s: Scenario) -> Iterator[Scenario]:
+    links, nodes = s.faults.link_events, s.faults.node_events
+    for i in range(len(links)):
+        yield _with_faults(s, link_events=links[:i] + links[i + 1:])
+    for i in range(len(nodes)):
+        yield _with_faults(s, node_events=nodes[:i] + nodes[i + 1:])
+
+
+def _quiet_channels(s: Scenario) -> Iterator[Scenario]:
+    for cid in list(s.faults.channels):
+        channels = dict(s.faults.channels)
+        del channels[cid]
+        yield _with_faults(s, channels=channels)
+    if s.faults.default is not None:
+        yield _with_faults(s, default=None)
+
+
+def _shrink_topology(s: Scenario) -> Iterator[Scenario]:
+    topo = s.topology
+    if topo.kind == "multirail":
+        if topo.rails > 2:
+            yield s.with_(topology=Topology(
+                kind="multirail", protocols=topo.protocols,
+                gateways=(topo.rails - 1,)))
+        return
+    # Fewer parallel gateways per boundary.
+    for b, count in enumerate(topo.gateways):
+        if count > 1:
+            gws = list(topo.gateways)
+            gws[b] = count - 1
+            yield s.with_(topology=Topology(
+                kind="chain", protocols=topo.protocols, sizes=topo.sizes,
+                gateways=tuple(gws)))
+    # Fewer endpoints per cluster; remap traffic onto survivor 0.
+    for c, size in enumerate(topo.sizes):
+        if size > 1:
+            sizes = list(topo.sizes)
+            sizes[c] = size - 1
+            new_topo = Topology(kind="chain", protocols=topo.protocols,
+                                sizes=tuple(sizes), gateways=topo.gateways)
+            alive = set(new_topo.endpoint_names())
+            tag = "abc"[c]
+            msgs = tuple(
+                MessageSpec(src=m.src if m.src in alive else f"{tag}0",
+                            dst=m.dst if m.dst in alive else f"{tag}0",
+                            nbytes=m.nbytes, kind=m.kind)
+                for m in s.messages)
+            if any(m.src == m.dst for m in msgs):
+                continue
+            yield s.with_(topology=new_topo, messages=msgs)
+
+
+def _shrink_sizes(s: Scenario) -> Iterator[Scenario]:
+    for i, m in enumerate(s.messages):
+        for nbytes in (m.nbytes // 2, m.nbytes // 10, 1024, 1):
+            if 1 <= nbytes < m.nbytes:
+                msgs = list(s.messages)
+                msgs[i] = MessageSpec(m.src, m.dst, nbytes, m.kind)
+                yield s.with_(messages=tuple(msgs))
+
+
+def _simplify_knobs(s: Scenario) -> Iterator[Scenario]:
+    if s.stripe is not None:
+        yield s.with_(stripe=None, multirail=False)
+    if s.multirail:
+        yield s.with_(multirail=False)
+    if s.header_batching:
+        yield s.with_(header_batching=False)
+
+
+_PASSES: tuple[Callable[[Scenario], Iterator[Scenario]], ...] = (
+    _drop_messages,
+    _drop_fault_events,
+    _quiet_channels,
+    _shrink_topology,
+    _simplify_knobs,
+    _shrink_sizes,
+)
+
+
+def minimize_scenario(scenario: Scenario, invariant: str,
+                      max_runs: int = 150,
+                      progress: Optional[Callable[[str], None]] = None,
+                      ) -> Scenario:
+    """Smallest variant of ``scenario`` still violating ``invariant``.
+
+    ``max_runs`` bounds the number of executor invocations; the result is
+    whatever the greedy fixed point (or the budget) left standing.
+    """
+    def still_fails(candidate: Scenario) -> bool:
+        try:
+            candidate.validate()
+        except ValueError:
+            return False
+        result = run_scenario(candidate)
+        return any(f.invariant == invariant for f in result.failures)
+
+    current = scenario
+    runs = 0
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        for shrink_pass in _PASSES:
+            # Run each pass to its own fixed point before moving on: the
+            # first surviving candidate restarts the pass on the smaller
+            # scenario, so one pass can shrink a dimension all the way.
+            reduced = True
+            while reduced and runs < max_runs:
+                reduced = False
+                for candidate in shrink_pass(current):
+                    if runs >= max_runs:
+                        break
+                    runs += 1
+                    if still_fails(candidate):
+                        current = candidate
+                        reduced = improved = True
+                        if progress is not None:
+                            progress(f"  shrunk to {current.describe()} "
+                                     f"({runs} runs)")
+                        break
+    return current

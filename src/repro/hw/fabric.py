@@ -147,6 +147,16 @@ class NIC:
             "wire.fragments", proto=protocol.name, nic=label)
         self._m_bytes = telemetry.metrics.counter(
             "wire.bytes", proto=protocol.name, nic=label)
+        # Conservation-law counters (docs/robustness.md): every fragment
+        # offered to a NIC must end up delivered, dropped by a fault
+        # verdict, blackholed (abandoned message), or failed (capacity
+        # error) — anything left over is still waiting for a receive.
+        self._m_offered = telemetry.metrics.counter(
+            "wire.fragments_offered", proto=protocol.name, nic=label)
+        self._m_blackholed = telemetry.metrics.counter(
+            "wire.fragments_blackholed", proto=protocol.name, nic=label)
+        self._m_failed = telemetry.metrics.counter(
+            "wire.fragments_failed", proto=protocol.name, nic=label)
         self._txq: Queue = Queue(sim, name=f"{label}.txq")
         sim.process(self._tx_engine(), name=f"nic:{label}")
         node.nics[(protocol.name, index)] = self
@@ -170,6 +180,7 @@ class NIC:
         size = _total_bytes(views) if (nbytes is None and views) else int(nbytes or 0)
         req = _SendRequest(dst=dst, tag=tag, payload=views, nbytes=size,
                            meta=dict(meta or {}), done=self.fabric.sim.event())
+        self._m_offered.inc()
         # Initiate the rendezvous immediately; the engine transmits requests
         # in match-completion order.  Per-tag matching is FIFO, so in-order
         # delivery per connection is preserved, while an unmatched fragment
@@ -192,6 +203,7 @@ class NIC:
                 # driver reaps the queued descriptor locally instead of
                 # pushing it through the wire, so an aborted message's
                 # backlog cannot starve the retry that follows it.
+                self._m_blackholed.inc()
                 req.done.succeed(req.nbytes)
                 continue
             if slot.capacity < req.nbytes:
@@ -204,6 +216,7 @@ class NIC:
                     f"{req.nbytes}B exceeds posted receive of {slot.capacity}B")
                 if not slot.done.triggered:
                     slot.done.fail(exc)
+                self._m_failed.inc()
                 req.done.fail(exc)
                 continue
             injector = self.fabric.injector
@@ -375,6 +388,20 @@ class Fabric:
     def pending_sends(self, nic: NIC, tag: Any) -> int:
         point = self._match.get((nic.id, tag))
         return len(point.senders) if point else 0
+
+    def pending_send_count(self) -> int:
+        """Fragments offered but never matched by a posted receive.
+
+        The residual term of the fragment conservation law: after the heap
+        drains, ``offered == delivered + dropped + blackholed + failed +
+        pending_send_count()`` holds exactly (see
+        :mod:`repro.telemetry.conservation`).
+        """
+        return sum(len(point.senders) for point in self._match.values())
+
+    def pending_recv_count(self) -> int:
+        """Posted receives no sender has matched (receiver-side residual)."""
+        return sum(len(point.slots) for point in self._match.values())
 
     # -- fault recovery ---------------------------------------------------------
     def _blackhole_slot(self) -> _RecvSlot:

@@ -39,6 +39,9 @@ class World:
         self.node_params = node_params or NodeParams()
         self.nodes: dict[int, Node] = {}
         self.names: dict[str, Node] = {}
+        #: ids of every RealChannel built on this world (forwarding twins
+        #: included); FaultPlan.arm validates link-event targets against it.
+        self.channel_ids: set[str] = set()
 
     def add_node(self, name: str,
                  protocols: Iterable[ProtocolParams | str] = (),

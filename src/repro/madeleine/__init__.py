@@ -16,6 +16,8 @@ Layering (Figure 1 + the paper's extension):
 * :mod:`~repro.madeleine.session` — the user entry point.
 """
 
+import itertools
+
 from .bmm import UnpackMismatch, split_fragments
 from .channel import Endpoint, RealChannel
 from .endpoint import MessageEndpoint
@@ -34,7 +36,29 @@ from .wire import (ANNOUNCE_BYTES, DESC_BYTES, MODE_GTM, MODE_REGULAR,
                    decode_announce, decode_descriptor, decode_stripe,
                    encode_announce, encode_descriptor, encode_stripe)
 
+def reset_global_ids() -> None:
+    """Restart the process-wide id counters (messages, transfers, stripes,
+    channels, forwarding workers).
+
+    Ids are opaque labels, so sharing one counter across sessions is
+    normally harmless — but fault-recovery code branches on wire *content*
+    that embeds them (a stale fragment redelivered by a drop verdict, a
+    corrupted record), so two runs of the same seeded scenario in one
+    process can diverge after the first fault.  A replay harness that needs
+    bit-identical schedules (the fuzzer, minimization) calls this before
+    each run to start every session from the same id space.
+    """
+    from . import channel, gateway, gtm, message, reliable, stripe
+    message._msg_ids = itertools.count(1)
+    gtm._msg_ids = itertools.count(1 << 20)
+    stripe._stripe_ids = itertools.count(1)
+    reliable._transfer_ids = itertools.count(1)
+    channel._channel_seq = itertools.count()
+    gateway.ForwardingWorker._ids = itertools.count()
+
+
 __all__ = [
+    "reset_global_ids",
     "UnpackMismatch", "split_fragments",
     "Endpoint", "RealChannel", "MessageEndpoint",
     "RECV_CHEAPER", "RECV_EXPRESS", "SEND_CHEAPER", "SEND_LATER",

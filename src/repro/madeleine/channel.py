@@ -146,6 +146,7 @@ class RealChannel:
         self.special = special
         seq = next(_channel_seq)
         self.id = name or f"ch{seq}:{protocol_name}{'!fwd' if special else ''}"
+        world.channel_ids.add(self.id)
         for rank in members:
             node = world.nodes.get(rank)
             if node is None:

@@ -53,7 +53,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from .tm import TransmissionModule
     from .vchannel import VirtualChannel
 
-__all__ = ["ForwardingWorker", "GatewayError"]
+__all__ = ["ForwardingWorker", "GatewayError", "TEST_HOOKS"]
+
+
+@dataclass
+class _TestHooks:
+    """Deliberate-bug switches for the fuzz executor's self-test.
+
+    ``leak_credits`` disables the credit return in the N-deep pipeline so
+    a known-bad implementation exists for the credit-leak invariant to
+    catch (tests/fuzz/test_executor.py).  Never set outside tests.
+    """
+
+    leak_credits: bool = False
+
+
+TEST_HOOKS = _TestHooks()
 
 
 class GatewayError(RuntimeError):
@@ -122,6 +137,12 @@ class ForwardingWorker:
         self._ingress_next = 0.0   # earliest instant the regulator allows
         self.messages_forwarded = 0
         self.messages_abandoned = 0
+        #: credits held by the receive thread right now (credit pipeline
+        #: only).  Returns to 0 after every cleanly forwarded message —
+        #: the fuzz executor's credit-leak invariant (docs/robustness.md).
+        self.credits_outstanding = 0
+        self._g_credits = m.gauge("gateway.credits_outstanding",
+                                  gw=gw_rank, channel=in_channel.id)
         self._retired = False
         self._abort_ev = self.sim.event(name=f"gw{gw_rank}.abort")
         self.process = self.sim.process(
@@ -551,6 +572,8 @@ class ForwardingWorker:
             if idx == 1:
                 ok = False
                 break
+            self.credits_outstanding += 1
+            self._g_credits.inc()
             try:
                 item = yield from self._receive_item(in_tm, out_tm, hop_src,
                                                      announce)
@@ -581,7 +604,10 @@ class ForwardingWorker:
                     return False
                 yield from self._transmit_item(item, in_tm, out_tm,
                                                next_rank, announce)
-                gate.release()
+                if not TEST_HOOKS.leak_credits:
+                    gate.release()
+                    self.credits_outstanding -= 1
+                    self._g_credits.dec()
                 if item.last:
                     return True
         except (_Stalled, GatewayCrashed):

@@ -242,3 +242,4 @@ class StripedIncoming(_ExecutorMixin):
         # Every rail must close with its own terminator.
         yield self.sim.all_of([rail.end_unpacking()
                                for rail in self._rails])
+        self.vchannel._m_stripes_reassembled.inc(self.total)

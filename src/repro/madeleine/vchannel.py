@@ -26,6 +26,7 @@ from ..routing import (RouteTable, StripePolicy, StripeScheduler,
                        disjoint_routes, gateway_ranks, negotiate_mtu,
                        tune_fragment_size)
 from ..sim import Event, Queue
+from .bmm import UnpackMismatch
 from .channel import RealChannel
 from .endpoint import MessageEndpoint
 from .gateway import ForwardingWorker
@@ -81,7 +82,15 @@ class VChannelEndpoint(MessageEndpoint):
     def _join_stripe_group(self, rail: GTMIncoming, ev: Event) -> None:
         if not ev.ok:
             if self.vchannel._injector is not None:
-                return   # rail died before identifying itself; recovery
+                # Rail died — or its stripe record arrived corrupted —
+                # before identifying its group.  Defuse so the kernel does
+                # not re-raise through step(), abort the rail to reclaim
+                # anything it still holds, and let the reliable layer's
+                # retransmission recover the message end to end.
+                ev.defuse()
+                rail.abort()
+                self.vchannel._m_rails_abandoned.inc()
+                return
             raise ev.value
         record = ev.value
         key = (rail.origin, record.stripe_id)
@@ -94,7 +103,21 @@ class VChannelEndpoint(MessageEndpoint):
             # rail arrives; the channel slot is None because the message
             # spans several member channels.
             self.incoming.put_nowait((None, group, rail.origin))
-        group.attach(record, rail)
+        try:
+            group.attach(record, rail)
+        except UnpackMismatch:
+            if self.vchannel._injector is None:
+                raise
+            # A corrupted stripe record can forge another group's identity
+            # — wrong rail count, or a seq slot already taken.  The clash
+            # is correct to raise on a clean wire, but under injection it
+            # is the wire's fault: abandon the rail and let retransmission
+            # recover whichever message it belonged to.  A group opened by
+            # a forged record never completes; the reliable receiver's
+            # stall bound aborts it.
+            rail.abort()
+            self.vchannel._m_rails_abandoned.inc()
+            return
         if group.complete:
             del self._stripe_groups[key]
 
@@ -197,6 +220,17 @@ class VirtualChannel:
         m = self.world.telemetry.metrics
         self._m_stripes_sent = m.counter("vchannel.stripes_sent",
                                          vchannel=self.name)
+        #: stripes consumed by a completed reassembly; pairs with
+        #: ``stripes_sent`` in the striping conservation law
+        #: (docs/robustness.md) — they match once every striped message
+        #: has fully drained.
+        self._m_stripes_reassembled = m.counter("vchannel.stripes_reassembled",
+                                                vchannel=self.name)
+        #: stripe rails whose record never decoded (sender crash mid-record
+        #: or corruption in transit); the whole striped message is left to
+        #: the reliable layer to retransmit.
+        self._m_rails_abandoned = m.counter("vchannel.stripe_rails_abandoned",
+                                            vchannel=self.name)
         self._h_stripe_depth = m.histogram(
             "vchannel.stripe_reassembly_depth",
             bounds=(1.0, 2.0, 4.0, 8.0), vchannel=self.name)

@@ -63,6 +63,16 @@ class StaticBufferPool:
     def available(self) -> int:
         return len(self._free)
 
+    @property
+    def outstanding(self) -> int:
+        """Blocks checked out right now (leak probe: 0 after a clean drain)."""
+        return len(self._outstanding)
+
+    @property
+    def waiting(self) -> int:
+        """Acquires currently blocked on an exhausted pool."""
+        return len(self._waiters)
+
     def acquire(self) -> Event:
         """Event that triggers with a free STATIC buffer."""
         ev = self.sim.event(name=f"{self.name}.acquire")

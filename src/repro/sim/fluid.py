@@ -37,6 +37,36 @@ DMA = "dma"
 PIO = "pio"
 
 
+class _OrderedSet:
+    """Insertion-ordered set (dict-backed).
+
+    Flow bookkeeping must iterate in *arrival* order, not address order: a
+    plain ``set`` of identity-hashed flows completes same-instant flows in
+    whatever order the allocator handed out addresses, which makes two runs
+    of the same seeded scenario in one process schedule differently.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: dict = {}
+
+    def add(self, item) -> None:
+        self._items[item] = None
+
+    def discard(self, item) -> None:
+        self._items.pop(item, None)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item) -> bool:
+        return item in self._items
+
+
 class FluidResource:
     """A shared capacity (bytes/µs) that concurrent flows divide."""
 
@@ -53,7 +83,7 @@ class FluidResource:
         #: factor applied to a PIO flow's peak rate while any DMA flow
         #: shares this resource.
         self.preempt_slowdown = preempt_slowdown
-        self.flows: set["Flow"] = set()
+        self.flows: _OrderedSet = _OrderedSet()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<FluidResource {self.name} cap={self.capacity}B/µs>"
@@ -111,7 +141,7 @@ class FluidNetwork:
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
-        self.flows: set[Flow] = set()
+        self.flows: _OrderedSet = _OrderedSet()
         self._wake_version = 0
         self._wake_ev: Optional[Event] = None
         self._wake_at: float = float("inf")

@@ -21,13 +21,17 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..sim.trace import TraceRecorder
+from .conservation import (ConservationLaw, LawViolation, FRAGMENT_LAW,
+                           STRIPE_LAW, STANDARD_LAWS, check_laws)
 from .registry import (Counter, Gauge, Histogram, MetricsRegistry,
                        NullRegistry, format_metrics)
 from .spans import Span, SpanTracker
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "NullRegistry", "format_metrics", "Span", "SpanTracker",
-           "Telemetry", "NULL_TELEMETRY"]
+           "Telemetry", "NULL_TELEMETRY",
+           "ConservationLaw", "LawViolation", "FRAGMENT_LAW", "STRIPE_LAW",
+           "STANDARD_LAWS", "check_laws"]
 
 
 class Telemetry:

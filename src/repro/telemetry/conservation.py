@@ -1,0 +1,113 @@
+"""Conservation laws over the metric registry.
+
+A conservation law is an exact accounting identity that must hold after the
+simulator drains, whatever faults were injected along the way: every
+fragment offered to a NIC is delivered, dropped, blackholed, failed, or
+still parked unmatched in the fabric; every stripe sent is reassembled once
+its message completes.  The fuzz executor (:mod:`repro.fuzz.executor`)
+evaluates these after each scenario; ``docs/robustness.md`` documents each
+law and the counters backing it.
+
+Laws are written against :meth:`MetricsRegistry.total` so they aggregate
+over all label sets (every NIC, every virtual channel).  Residual terms
+that live outside the registry — e.g. the fabric's unmatched-send count —
+are passed in by the caller as ``extra`` addends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence, Tuple
+
+from .registry import MetricsRegistry
+
+__all__ = ["ConservationLaw", "LawViolation", "FRAGMENT_LAW", "STRIPE_LAW",
+           "STANDARD_LAWS", "check_laws"]
+
+
+@dataclass(frozen=True)
+class ConservationLaw:
+    """``sum(lhs) == sum(rhs) + sum(extra terms named in rhs_extra)``."""
+
+    name: str
+    #: counter names summed on the left-hand side.
+    lhs: Tuple[str, ...]
+    #: counter names summed on the right-hand side.
+    rhs: Tuple[str, ...]
+    #: names of caller-supplied residuals added to the right-hand side.
+    rhs_extra: Tuple[str, ...] = ()
+    description: str = ""
+
+    def evaluate(self, metrics: MetricsRegistry,
+                 extra: Mapping[str, float] | None = None
+                 ) -> "LawViolation | None":
+        extra = extra or {}
+        missing = [k for k in self.rhs_extra if k not in extra]
+        if missing:
+            raise KeyError(
+                f"law {self.name!r} needs extra terms {missing}; "
+                f"got {sorted(extra)}")
+        lhs = sum(metrics.total(n) for n in self.lhs)
+        rhs = (sum(metrics.total(n) for n in self.rhs)
+               + sum(extra[k] for k in self.rhs_extra))
+        if lhs == rhs:
+            return None
+        terms = {n: metrics.total(n) for n in (*self.lhs, *self.rhs)}
+        terms.update({k: extra[k] for k in self.rhs_extra})
+        return LawViolation(law=self, lhs=lhs, rhs=rhs, terms=terms)
+
+
+@dataclass(frozen=True)
+class LawViolation:
+    """One broken identity, with every term's value for the bug report."""
+
+    law: ConservationLaw
+    lhs: float
+    rhs: float
+    terms: Mapping[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v:g}" for k, v in self.terms.items())
+        return (f"{self.law.name}: {self.lhs:g} != {self.rhs:g} ({parts})")
+
+
+#: Every fragment offered to a NIC is accounted for exactly once: it was
+#: delivered (``wire.fragments``), dropped by a fault verdict, blackholed
+#: by an abandoning gateway, failed with a capacity error, or is still
+#: sitting unmatched in the fabric (``pending_sends`` residual).
+FRAGMENT_LAW = ConservationLaw(
+    name="fragment-conservation",
+    lhs=("wire.fragments_offered",),
+    rhs=("wire.fragments", "faults.fragments_dropped",
+         "wire.fragments_blackholed", "wire.fragments_failed"),
+    rhs_extra=("pending_sends",),
+    description="offered = delivered + dropped + blackholed + failed "
+                "+ unmatched-at-drain",
+)
+
+#: Every stripe sent is reassembled exactly once per completed message;
+#: stripes of abandoned messages remain as the ``stripes_abandoned``
+#: residual the caller computes from aborted reassembly groups.
+STRIPE_LAW = ConservationLaw(
+    name="stripe-conservation",
+    lhs=("vchannel.stripes_sent",),
+    rhs=("vchannel.stripes_reassembled",),
+    rhs_extra=("stripes_abandoned",),
+    description="stripes sent = stripes reassembled + stripes of "
+                "abandoned messages",
+)
+
+STANDARD_LAWS: Tuple[ConservationLaw, ...] = (FRAGMENT_LAW, STRIPE_LAW)
+
+
+def check_laws(metrics: MetricsRegistry,
+               extra: Mapping[str, float] | None = None,
+               laws: Sequence[ConservationLaw] = STANDARD_LAWS,
+               ) -> list[LawViolation]:
+    """Evaluate ``laws``; returns the violations (empty list = all hold)."""
+    out = []
+    for law in laws:
+        v = law.evaluate(metrics, extra)
+        if v is not None:
+            out.append(v)
+    return out

@@ -1,0 +1,104 @@
+"""Fault-plan validation and corpus serialization.
+
+``FaultPlan.validate`` turns a typo'd schedule into a descriptive
+``ValueError`` at arm time instead of a ``KeyError`` deep inside a driver
+process mid-run; ``to_dict``/``from_dict`` give the fuzz corpus an exact
+JSON round-trip.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import ChannelFaults, FaultPlan, LinkEvent, NodeEvent
+from tests.faults.conftest import two_gateway_world
+
+
+# -- standalone validation (no world) ------------------------------------------
+
+@pytest.mark.parametrize("plan", [
+    FaultPlan(link_events=(LinkEvent(time=-1.0, channel="myrinet:0"),)),
+    FaultPlan(node_events=(NodeEvent(time=-0.5, node="gwA"),)),
+])
+def test_negative_event_times_rejected_without_world(plan):
+    with pytest.raises(ValueError, match="time must be >= 0"):
+        plan.validate()
+
+
+def test_clean_plan_validates_without_world():
+    FaultPlan(seed=7, channels={"anything": ChannelFaults(drop_p=0.1)},
+              link_events=(LinkEvent(time=10.0, channel="later:0"),)
+              ).validate()
+
+
+# -- world-aware validation ----------------------------------------------------
+
+def test_unknown_node_event_target_rejected():
+    w, _s, _myri, _sci = two_gateway_world()
+    plan = FaultPlan(node_events=(NodeEvent(time=5.0, node="gwZ"),))
+    with pytest.raises(ValueError, match="unknown node 'gwZ'"):
+        plan.validate(w)
+    with pytest.raises(ValueError, match="unknown node 'gwZ'"):
+        plan.arm(w)
+
+
+def test_unknown_link_event_channel_rejected():
+    w, _s, _myri, _sci = two_gateway_world()
+    plan = FaultPlan(link_events=(LinkEvent(time=5.0, channel="ethernet:9"),))
+    with pytest.raises(ValueError, match="unknown channel 'ethernet:9'"):
+        plan.validate(w)
+
+
+def test_link_event_accepts_forwarding_twin_id():
+    w, _s, myri, _sci = two_gateway_world()
+    FaultPlan(link_events=(LinkEvent(time=5.0, channel=myri.id),
+                           LinkEvent(time=9.0, channel=f"{myri.id}!fwd"),)
+              ).validate(w)
+
+
+def test_link_events_need_channels_to_exist():
+    from repro.hw import build_world
+    w = build_world({"a": ["myrinet"], "b": ["myrinet"]})
+    plan = FaultPlan(link_events=(LinkEvent(time=5.0, channel="myrinet:0"),))
+    with pytest.raises(ValueError, match="build the channels first"):
+        plan.validate(w)
+
+
+def test_channel_probability_map_is_not_checked():
+    """Plans armed via ``Session(fault_plan=...)`` name channels created
+    later; an unmatched probability entry is inert, not an error."""
+    w, _s, _myri, _sci = two_gateway_world()
+    FaultPlan(channels={"not-built-yet:42": ChannelFaults(drop_p=0.5)}
+              ).validate(w)
+
+
+def test_node_event_by_rank_validates():
+    w, _s, _myri, _sci = two_gateway_world()
+    FaultPlan(node_events=(NodeEvent(time=5.0, node=1),)).validate(w)
+    with pytest.raises(ValueError, match="unknown node 99"):
+        FaultPlan(node_events=(NodeEvent(time=5.0, node=99),)).validate(w)
+
+
+# -- serialization -------------------------------------------------------------
+
+def test_plan_dict_roundtrip_exact():
+    plan = FaultPlan(
+        seed=42,
+        channels={"myrinet:0": ChannelFaults(drop_p=0.01, corrupt_p=0.002,
+                                             delay_p=0.1, delay_us=150.0)},
+        default=ChannelFaults(delay_p=0.05, delay_us=20.0),
+        link_events=(LinkEvent(time=1_000.0, channel="myrinet:0"),
+                     LinkEvent(time=2_000.0, channel="myrinet:0", up=True)),
+        node_events=(NodeEvent(time=3_000.0, node="gwA"),
+                     NodeEvent(time=9_000.0, node="gwA", up=True)),
+    )
+    doc = json.loads(json.dumps(plan.to_dict()))   # via real JSON
+    back = FaultPlan.from_dict(doc)
+    assert back == plan
+    assert back.to_dict() == plan.to_dict()
+
+
+def test_plan_dict_roundtrip_defaults():
+    plan = FaultPlan()
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+    assert FaultPlan.from_dict({}) == plan

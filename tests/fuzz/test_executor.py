@@ -1,0 +1,105 @@
+"""Executor oracle: clean passes, deterministic results, and detection of a
+deliberately broken stack (the acceptance gate of the fuzzer itself)."""
+
+import pytest
+
+from repro.faults import ChannelFaults, FaultPlan
+from repro.fuzz import (MessageSpec, Scenario, Topology, minimize_scenario,
+                        random_scenario, run_scenario)
+from repro.madeleine.gateway import TEST_HOOKS
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_seeds_pass_the_catalog(seed):
+    result = run_scenario(random_scenario(seed))
+    assert result.ok, [str(f) for f in result.failures]
+    assert result.stats["delivered"] >= 1
+    assert result.features
+
+
+def test_results_are_deterministic():
+    s = random_scenario(3)
+    a, b = run_scenario(s), run_scenario(s)
+    assert a.stats == b.stats
+    assert a.features == b.features
+
+
+def test_signature_distinguishes_topologies():
+    quiet_chain = next(s for s in map(random_scenario, range(50))
+                       if s.topology.kind == "chain")
+    rail = next(s for s in map(random_scenario, range(50))
+                if s.topology.kind == "multirail")
+    fa = run_scenario(quiet_chain).features
+    fb = run_scenario(rail).features
+    assert "topo:chain" in fa and "topo:multirail" in fb
+    assert fa != fb
+
+
+def _leak_scenario():
+    """Quiet pipelined chain, wide enough that minimization has work to do.
+
+    Small messages keep every forward within the credit window, so the
+    leaked credits show as a nonzero gauge instead of a stall-and-abandon.
+    """
+    topo = Topology(kind="chain", protocols=("myrinet", "sci"),
+                    sizes=(2, 2), gateways=(2,))
+    return Scenario(
+        seed=99,
+        topology=topo,
+        pipeline=(4, 4, False),
+        messages=(MessageSpec("a0", "b0", 2_000),
+                  MessageSpec("a1", "b1", 2_000),
+                  MessageSpec("a0", "b1", 1_000)),
+        faults=FaultPlan(seed=99),
+    )
+
+
+@pytest.fixture
+def leaky_gateway():
+    TEST_HOOKS.leak_credits = True
+    try:
+        yield
+    finally:
+        TEST_HOOKS.leak_credits = False
+
+
+def test_injected_credit_leak_is_caught(leaky_gateway):
+    result = run_scenario(_leak_scenario())
+    assert not result.ok
+    assert any(f.invariant == "credit-leak" for f in result.failures), \
+        [str(f) for f in result.failures]
+
+
+def test_injected_credit_leak_minimizes_small(leaky_gateway):
+    """The ISSUE acceptance gate: the planted fault shrinks to a scenario
+    of at most 4 nodes and 3 fault events that still exhibits it."""
+    scenario = _leak_scenario()
+    assert scenario.topology.n_nodes == 6
+    small = minimize_scenario(scenario, "credit-leak", max_runs=80)
+    assert small.topology.n_nodes <= 4
+    assert small.n_fault_events <= 3
+    assert len(small.messages) == 1
+    result = run_scenario(small)
+    assert any(f.invariant == "credit-leak" for f in result.failures)
+
+
+def test_clean_stack_holds_credit_invariant():
+    result = run_scenario(_leak_scenario())
+    assert result.ok, [str(f) for f in result.failures]
+
+
+def test_faulty_channel_scenario_still_delivers():
+    """Reliable traffic under fragment drops: typed errors allowed, crashes
+    and conservation violations are not."""
+    topo = Topology(kind="chain", protocols=("myrinet", "sci"),
+                    sizes=(1, 1), gateways=(1,))
+    s = Scenario(
+        seed=5,
+        topology=topo,
+        messages=(MessageSpec("a0", "b0", 30_000),),
+        faults=FaultPlan(seed=5,
+                         channels={"c0": ChannelFaults(drop_p=0.05)}),
+    )
+    result = run_scenario(s)
+    assert result.ok, [str(f) for f in result.failures]
+    assert result.stats["dropped"] >= 0

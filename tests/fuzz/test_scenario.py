@@ -1,0 +1,118 @@
+"""Scenario schema: determinism, serialization, and validation."""
+
+import json
+
+import pytest
+
+from repro.fuzz import (MessageSpec, Scenario, Topology, mutate_scenario,
+                        random_scenario)
+from repro.faults import FaultPlan, LinkEvent, NodeEvent
+
+
+def test_random_scenario_is_deterministic():
+    for seed in range(30):
+        a, b = random_scenario(seed), random_scenario(seed)
+        assert a == b, f"seed {seed} not reproducible"
+        assert a.to_dict() == b.to_dict()
+
+
+def test_mutation_is_deterministic_and_valid():
+    base = random_scenario(1)
+    for seed in range(30):
+        a = mutate_scenario(base, seed)
+        b = mutate_scenario(base, seed)
+        assert a == b
+        a.validate()
+
+
+def test_dict_roundtrip_through_json():
+    for seed in range(30):
+        s = random_scenario(seed)
+        doc = json.loads(json.dumps(s.to_dict()))
+        assert Scenario.from_dict(doc) == s
+
+
+def test_chain_names_are_derived():
+    topo = Topology(kind="chain", protocols=("myrinet", "sci", "gigabit_tcp"),
+                    sizes=(2, 1, 1), gateways=(2, 1))
+    assert topo.endpoint_names() == ["a0", "a1", "b0", "c0"]
+    assert topo.gateway_names() == ["gw00", "gw01", "gw10"]
+    assert topo.channel_names() == ["c0", "c1", "c2"]
+    assert topo.n_nodes == 7
+
+
+def test_multirail_names_are_derived():
+    topo = Topology(kind="multirail", protocols=("myrinet", "sci"),
+                    gateways=(3,))
+    assert topo.endpoint_names() == ["a0", "b0"]
+    assert topo.gateway_names() == ["gw0", "gw1", "gw2"]
+    assert topo.rails == 3
+    assert topo.n_nodes == 5
+
+
+@pytest.mark.parametrize("kw, match", [
+    (dict(kind="chain", protocols=("myrinet", "myrinet"), sizes=(1, 1),
+          gateways=(1,)), "differ in protocol"),
+    (dict(kind="multirail", protocols=("myrinet", "myrinet")), "distinct"),
+    (dict(kind="multirail", protocols=("myrinet", "sci"), gateways=(1,)),
+     "2..3 rails"),
+    (dict(kind="ring", protocols=("myrinet",)), "unknown topology"),
+])
+def test_bad_topologies_rejected(kw, match):
+    kw.setdefault("gateways", (2,))
+    with pytest.raises(ValueError, match=match):
+        Topology(**kw)
+
+
+def _chain(**kw):
+    topo = Topology(kind="chain", protocols=("myrinet", "sci"),
+                    sizes=(1, 1), gateways=(1,))
+    base = dict(seed=0, topology=topo,
+                messages=(MessageSpec("a0", "b0", 1000),),
+                faults=FaultPlan())
+    base.update(kw)
+    return Scenario(**base)
+
+
+@pytest.mark.parametrize("kw, match", [
+    (dict(messages=(MessageSpec("a0", "z9", 100),)), "not an endpoint"),
+    (dict(messages=(MessageSpec("a0", "a0", 100),)), "loopback"),
+    (dict(messages=()), "no traffic"),
+    (dict(faults=FaultPlan(node_events=(NodeEvent(time=1.0, node="a0"),))),
+     "not a gateway"),
+    (dict(faults=FaultPlan(link_events=(LinkEvent(time=1.0, channel="cx"),))),
+     "unknown channel"),
+    (dict(pipeline=(3, 3, True)), "lockstep"),
+    (dict(pipeline=(2, 5, False)), "credits"),
+    (dict(stripe=(2, 4096)), "multirail topology"),
+    (dict(multirail=True), "parallel routes"),
+])
+def test_bad_scenarios_rejected(kw, match):
+    with pytest.raises(ValueError, match=match):
+        _chain(**kw).validate()
+
+
+def test_multirail_dispatch_allowed_on_parallel_chain():
+    topo = Topology(kind="chain", protocols=("myrinet", "sci"),
+                    sizes=(1, 1), gateways=(2,))
+    Scenario(seed=0, topology=topo, multirail=True,
+             messages=(MessageSpec("a0", "b0", 1000),),
+             faults=FaultPlan()).validate()
+
+
+def test_plain_traffic_requires_quiet_plan():
+    from repro.faults import ChannelFaults
+    noisy = FaultPlan(channels={"c0": ChannelFaults(drop_p=0.1)})
+    with pytest.raises(ValueError, match="plain"):
+        _chain(messages=(MessageSpec("a0", "b0", 100, kind="plain"),),
+               faults=noisy).validate()
+
+
+def test_quiet_property():
+    assert _chain().quiet
+    from repro.faults import ChannelFaults
+    assert not _chain(faults=FaultPlan(
+        channels={"c0": ChannelFaults(drop_p=0.1)})).quiet
+    # delay-only probabilities still count as noisy (they reorder timing)
+    assert not _chain(faults=FaultPlan(
+        channels={"c0": ChannelFaults(delay_p=0.5, delay_us=10.0)})).quiet

@@ -1,0 +1,146 @@
+"""Property-based round-trip tests for the wire codec (§2.3 records).
+
+Every encodable record decodes back to itself — including the announce
+mode-byte flag bits (batched 0x80, striped 0x40) — and malformed buffers
+raise :class:`ValueError` instead of decoding to garbage.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.madeleine.flags import RecvMode, SendMode
+from repro.madeleine.wire import (ANNOUNCE_BYTES, DESC_BYTES, MODE_GTM,
+                                  MODE_REGULAR, STRIPE_BYTES, STRIPE_VERSION,
+                                  Announce, Descriptor, StripeRecord,
+                                  decode_announce, decode_descriptor,
+                                  decode_stripe, encode_announce,
+                                  encode_descriptor, encode_stripe)
+
+_SETTINGS = dict(max_examples=200, deadline=None)
+
+
+def announces():
+    return st.builds(
+        Announce,
+        mode=st.sampled_from([MODE_REGULAR, MODE_GTM]),
+        origin=st.integers(0, 0xFFFF),
+        final_dst=st.integers(0, 0xFFFF),
+        mtu=st.integers(1, 0xFFFF).map(lambda kb: kb * 1024),
+        msg_id=st.integers(0, 0xFFFF_FFFF),
+        hops_left=st.integers(0, 0xFF),
+        batched=st.booleans(),
+        striped=st.booleans(),
+    )
+
+
+def descriptors():
+    data = st.builds(
+        Descriptor,
+        length=st.integers(0, 0xFFFF_FFFF),
+        smode=st.sampled_from(list(SendMode)),
+        rmode=st.sampled_from(list(RecvMode)),
+    )
+    terminators = st.builds(
+        Descriptor,
+        length=st.just(0),
+        smode=st.sampled_from(list(SendMode)),
+        rmode=st.sampled_from(list(RecvMode)),
+        terminator=st.just(True),
+    )
+    return st.one_of(data, terminators)
+
+
+def stripes():
+    return st.integers(1, 0xFFFF).flatmap(
+        lambda total: st.builds(
+            StripeRecord,
+            stripe_id=st.integers(0, 0xFFFF_FFFF),
+            seq=st.integers(0, total - 1),
+            total=st.just(total),
+        ))
+
+
+@given(a=announces())
+@settings(**_SETTINGS)
+def test_announce_roundtrip(a):
+    raw = encode_announce(a)
+    assert len(raw) == ANNOUNCE_BYTES
+    assert decode_announce(raw) == a
+
+
+@given(d=descriptors())
+@settings(**_SETTINGS)
+def test_descriptor_roundtrip(d):
+    raw = encode_descriptor(d)
+    assert len(raw) == DESC_BYTES
+    assert decode_descriptor(raw) == d
+
+
+@given(s=stripes())
+@settings(**_SETTINGS)
+def test_stripe_roundtrip(s):
+    raw = encode_stripe(s)
+    assert len(raw) == STRIPE_BYTES
+    got = decode_stripe(raw)
+    assert got == s
+    assert got.version == STRIPE_VERSION
+
+
+@given(a=announces())
+@settings(**_SETTINGS)
+def test_announce_flag_bits_on_the_wire(a):
+    """The batched/striped flags ride the mode byte (0x80 / 0x40) and never
+    leak into the decoded base mode."""
+    raw = encode_announce(a)
+    mode_byte = raw[0]
+    assert bool(mode_byte & 0x80) == a.batched
+    assert bool(mode_byte & 0x40) == a.striped
+    assert mode_byte & ~0xC0 == a.mode
+
+
+@given(raw=st.binary(min_size=0, max_size=64))
+@settings(**_SETTINGS)
+def test_wrong_length_raises(raw):
+    for nbytes, decode in ((ANNOUNCE_BYTES, decode_announce),
+                           (DESC_BYTES, decode_descriptor),
+                           (STRIPE_BYTES, decode_stripe)):
+        if len(raw) != nbytes:
+            try:
+                decode(raw)
+            except ValueError:
+                continue
+            raise AssertionError(
+                f"{decode.__name__} accepted a {len(raw)}-byte buffer")
+
+
+@given(raw=st.binary(min_size=STRIPE_BYTES, max_size=STRIPE_BYTES))
+@settings(**_SETTINGS)
+def test_stripe_decode_rejects_garbage(raw):
+    """Exact-length garbage either decodes to a valid record or raises a
+    clean ValueError — never an invalid StripeRecord or another exception."""
+    try:
+        got = decode_stripe(raw)
+    except ValueError:
+        return
+    assert got.version == STRIPE_VERSION
+    assert got.total >= 1 and 0 <= got.seq < got.total
+
+
+def test_out_of_range_fields_refuse_to_encode():
+    import pytest
+
+    with pytest.raises(ValueError):
+        encode_announce(Announce(mode=MODE_GTM, origin=0x1_0000, final_dst=0,
+                                 mtu=1024, msg_id=0))
+    with pytest.raises(ValueError):
+        encode_announce(Announce(mode=MODE_GTM, origin=0, final_dst=0,
+                                 mtu=64 << 20, msg_id=0))
+    with pytest.raises(ValueError):
+        encode_descriptor(Descriptor(length=1 << 32))
+    with pytest.raises(ValueError):
+        encode_stripe(StripeRecord(stripe_id=1 << 32, seq=0, total=1))
+    with pytest.raises(ValueError):
+        Descriptor(length=1, terminator=True)
+    with pytest.raises(ValueError):
+        StripeRecord(stripe_id=0, seq=2, total=2)
+    with pytest.raises(ValueError):
+        StripeRecord(stripe_id=0, seq=0, total=0)

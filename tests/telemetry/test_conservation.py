@@ -1,0 +1,69 @@
+"""Conservation laws: the accounting identities behind invariant I6."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.conservation import (FRAGMENT_LAW, STANDARD_LAWS,
+                                          STRIPE_LAW, ConservationLaw,
+                                          check_laws)
+
+
+def _registry(**totals):
+    m = MetricsRegistry()
+    for name, value in totals.items():
+        m.counter(name.replace("__", ".")).inc(value)
+    return m
+
+
+def test_fragment_law_holds_when_balanced():
+    m = _registry(wire__fragments_offered=10, wire__fragments=7,
+                  faults__fragments_dropped=2, wire__fragments_blackholed=1,
+                  wire__fragments_failed=0)
+    assert FRAGMENT_LAW.evaluate(m, {"pending_sends": 0}) is None
+
+
+def test_fragment_law_counts_pending_residual():
+    m = _registry(wire__fragments_offered=5, wire__fragments=3)
+    assert FRAGMENT_LAW.evaluate(m, {"pending_sends": 2}) is None
+    v = FRAGMENT_LAW.evaluate(m, {"pending_sends": 0})
+    assert v is not None
+    assert v.lhs == 5 and v.rhs == 3
+    assert "wire.fragments_offered=5" in str(v)
+    assert "pending_sends=0" in str(v)
+
+
+def test_fragment_law_aggregates_label_sets():
+    m = MetricsRegistry()
+    m.counter("wire.fragments_offered", nic="a").inc(4)
+    m.counter("wire.fragments_offered", nic="b").inc(6)
+    m.counter("wire.fragments", nic="a").inc(4)
+    m.counter("wire.fragments", nic="b").inc(6)
+    assert FRAGMENT_LAW.evaluate(m, {"pending_sends": 0}) is None
+
+
+def test_stripe_law():
+    m = _registry(vchannel__stripes_sent=6, vchannel__stripes_reassembled=4)
+    assert STRIPE_LAW.evaluate(m, {"stripes_abandoned": 2}) is None
+    assert STRIPE_LAW.evaluate(m, {"stripes_abandoned": 1}) is not None
+
+
+def test_missing_extra_term_raises():
+    with pytest.raises(KeyError, match="pending_sends"):
+        FRAGMENT_LAW.evaluate(MetricsRegistry(), {})
+
+
+def test_check_laws_collects_all_violations():
+    m = _registry(wire__fragments_offered=1, vchannel__stripes_sent=1)
+    out = check_laws(m, {"pending_sends": 0, "stripes_abandoned": 0})
+    assert {v.law.name for v in out} == {law.name for law in STANDARD_LAWS}
+    assert check_laws(MetricsRegistry(),
+                      {"pending_sends": 0, "stripes_abandoned": 0}) == []
+
+
+def test_custom_law():
+    law = ConservationLaw(name="toy", lhs=("a",), rhs=("b", "c"))
+    m = _registry(a=3, b=1, c=2)
+    assert law.evaluate(m) is None
+    m2 = _registry(a=3, b=1)
+    v = law.evaluate(m2)
+    assert v is not None and "toy" in str(v)

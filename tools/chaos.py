@@ -36,7 +36,8 @@ from repro.hw.params import GatewayParams
 from repro.madeleine import ReliableEndpoint, RetryPolicy, Session
 from repro.sim.errors import ProcessCrashed, RetryExhausted
 
-__all__ = ["ChaosConfig", "ChaosReport", "run_chaos", "main"]
+__all__ = ["ChaosConfig", "ChaosReport", "run_chaos", "replay_command",
+           "main"]
 
 
 @dataclass
@@ -208,6 +209,25 @@ def _describe(cfg: ChaosConfig) -> str:
     return " ".join(bits)
 
 
+def replay_command(cfg: ChaosConfig, random_schedule: bool) -> str:
+    """The one-liner that reproduces this exact run."""
+    bits = [f"python tools/chaos.py --seed {cfg.seed}",
+            f"--messages {cfg.messages}", f"--bytes {cfg.nbytes}"]
+    if random_schedule:
+        bits.append("--random")
+    else:
+        bits += [f"--drop {cfg.drop_p}", f"--corrupt {cfg.corrupt_p}"]
+        if cfg.delay_p:
+            bits += [f"--delay-p {cfg.delay_p}", f"--delay-us {cfg.delay_us}"]
+        if cfg.crash_at is not None:
+            bits.append(f"--crash {cfg.crash_at}")
+            if cfg.restart_after is not None:
+                bits.append(f"--restart {cfg.restart_after}")
+        for down_at, up_at in cfg.flaps:
+            bits.append(f"--flap {down_at} {up_at}")
+    return " ".join(bits)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     ap = argparse.ArgumentParser(
         description=__doc__.splitlines()[0],
@@ -248,10 +268,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 crash_at=args.crash, restart_after=args.restart,
                 flaps=tuple(tuple(f) for f in args.flap))
         print(f"--- chaos run: {_describe(cfg)}")
-        report = run_chaos(cfg)
-        print(report.summary())
-        if not report.ok:
+        # Any escape from the harness — an unexpected exception as much as
+        # a failed integrity verdict — must fail the whole invocation, or
+        # CI smoke silently passes over real bugs.
+        try:
+            report = run_chaos(cfg)
+        except Exception as exc:  # noqa: BLE001 — report, then fail the run
+            print(f"run raised {type(exc).__name__}: {exc}")
+            report = None
+        else:
+            print(report.summary())
+        if report is None or not report.ok:
             failures += 1
+            print(f"FAILING SEED: {seed}")
+            print(f"replay: {replay_command(cfg, args.random)}")
     if failures:
         print(f"\n{failures}/{args.runs} chaos runs FAILED")
         return 1
