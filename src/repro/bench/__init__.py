@@ -6,6 +6,7 @@ from .ping import (MultirailHarness, PingHarness, PingResult,
                    probe_protocol_rates)
 from .regress import (compare_to_baseline, format_report, run_regress,
                       write_baseline, write_results)
+from .scale import format_sweep, run_traffic_scenario, sweep_nodes
 from .sweep import (PAPER_MESSAGE_SIZES, PAPER_PACKET_SIZES, Series,
                     bandwidth_sweep, figure_sweep, pipeline_sweep,
                     rails_sweep)
@@ -20,5 +21,6 @@ __all__ = [
     "bandwidth_sweep", "figure_sweep", "pipeline_sweep", "rails_sweep",
     "compare_to_baseline", "format_report", "run_regress",
     "write_baseline", "write_results",
+    "format_sweep", "run_traffic_scenario", "sweep_nodes",
     "PaperPoint", "format_comparison", "format_series_table", "human_size",
 ]

@@ -62,6 +62,10 @@ DEFAULT_FLOORS = {
     # dual-rail striping must keep aggregating bandwidth: >= 1.5x the
     # single-rail figure at 8 KB paquets on the dual-gateway topology.
     "multirail_dual_gain": 1.5,
+    # scale-out kernel cost must stay sub-linear in flow count: events/MB
+    # may grow by at most this factor from 8 to 64 concurrent flows on the
+    # 4x4 torus (a *maximum*, unlike the gain floors above).
+    "sweep_nodes_event_growth": 1.3,
 }
 
 #: fig5/fig8 use the paper's balanced configuration: 2 MB over 64 KB paquets.
@@ -313,6 +317,14 @@ def _scenario_multirail() -> dict:
     }
 
 
+def _scenario_sweep_nodes() -> dict:
+    """Traffic-engine scaling cell: events/MB growth from 8 to 64 open-loop
+    flows on a 4x4 torus (calendar scheduler); ``event_growth`` is held
+    under the ``sweep_nodes_event_growth`` ceiling."""
+    from .scale import scaling_scenario
+    return scaling_scenario()
+
+
 _SCENARIOS = {
     "fig5": _scenario_fig5,
     "fig5_batched": _scenario_fig5_batched,
@@ -321,6 +333,7 @@ _SCENARIOS = {
     "pipeline": _scenario_pipeline,
     "batching": _scenario_batching,
     "multirail": _scenario_multirail,
+    "sweep_nodes": _scenario_sweep_nodes,
     "fig6": _scenario_fig6,
     "fig7": _scenario_fig7,
 }
@@ -328,7 +341,7 @@ _SCENARIOS = {
 #: --quick keeps the cheap single-transfer scenarios (the sweeps dominate
 #: the runtime); comparison then covers only the scenarios that ran.
 _QUICK_SCENARIOS = ("fig5", "fig5_batched", "fig8", "latency", "pipeline",
-                    "batching", "multirail")
+                    "batching", "multirail", "sweep_nodes")
 
 
 def _run_scenario(name: str):
@@ -428,6 +441,14 @@ def compare_to_baseline(current: dict, baseline: dict,
                 f"multirail.multirail_dual_gain: {gain:.2f}x is below the "
                 f"committed floor ({rail_floor:.1f}x) — dual-rail striping "
                 f"stopped aggregating bandwidth")
+    growth_cap = floors.get("sweep_nodes_event_growth")
+    if growth_cap is not None and "sweep_nodes" in current:
+        growth = current["sweep_nodes"].get("event_growth", float("inf"))
+        if growth > growth_cap + 1e-9:
+            failures.append(
+                f"sweep_nodes.event_growth: {growth:.2f}x exceeds the "
+                f"committed ceiling ({growth_cap:.1f}x) — kernel cost per "
+                f"MB is no longer sub-linear in concurrent flow count")
     return failures
 
 

@@ -295,6 +295,49 @@ def _sweep_rails(args) -> int:
     return 0
 
 
+def _sweep_nodes(args) -> int:
+    import json
+    import pathlib
+
+    from .bench.scale import format_sweep, sweep_nodes
+
+    rows = sweep_nodes(progress=lambda msg: print(f"  running {msg} ...",
+                                                  flush=True))
+    print()
+    print(format_sweep(rows))
+    print("\nopen-loop Poisson traffic on generated tori (calendar "
+          "scheduler); 'gwq' is the gateway queue high-water mark and "
+          "'ev/MB' the kernel cost per transferred MB (see docs/scaling.md)")
+    if args.sweep_out:
+        path = pathlib.Path(args.sweep_out)
+        path.write_text(json.dumps({"suite": "sweep-nodes", "rows": rows},
+                                   indent=1, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _bench_scenario(args) -> int:
+    from .bench.scale import run_traffic_scenario
+    from .scenario import load_scenario
+
+    scenario = load_scenario(args.scenario)
+    if scenario.traffic is None:
+        print(f"{args.scenario}: scenario has no traffic spec; "
+              f"replay message-level scenarios with "
+              f"'repro fuzz --replay {args.scenario}'", file=sys.stderr)
+        return 2
+    print(f"scenario {args.scenario}: {scenario.describe()}")
+    row = run_traffic_scenario(scenario)
+    for key in ("flows", "completed", "peak_active", "p50_fct_us",
+                "p99_fct_us", "mean_fct_us", "duration_us", "goodput_mbs",
+                "gw_queue_hwm", "events", "events_per_mb"):
+        value = row[key]
+        text = f"{value:.1f}" if isinstance(value, float) else str(value)
+        print(f"  {key:16s} {text}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     import pathlib
 
@@ -304,9 +347,14 @@ def cmd_bench(args) -> int:
         return _sweep_pipeline(args)
     if args.sweep_rails:
         return _sweep_rails(args)
+    if args.sweep_nodes:
+        return _sweep_nodes(args)
+    if args.scenario:
+        return _bench_scenario(args)
     if not args.regress and not args.update_baseline:
         print("nothing to do: pass --regress, --update-baseline, "
-              "--sweep-pipeline and/or --sweep-rails", file=sys.stderr)
+              "--scenario, or one of --sweep-pipeline/--sweep-rails/"
+              "--sweep-nodes", file=sys.stderr)
         return 2
     baseline_path = pathlib.Path(args.baseline)
     out_path = pathlib.Path(args.out)
@@ -339,6 +387,8 @@ def cmd_bench(args) -> int:
 def cmd_fuzz(args) -> int:
     from .fuzz import load_repro, minimize_scenario, run_campaign, run_scenario
 
+    if args.scenario and not args.replay:
+        args.replay = args.scenario
     if args.replay:
         scenario = load_repro(args.replay)
         if args.minimize:
@@ -461,9 +511,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sweep-rails", action="store_true",
                    help="sweep stripe rail count x paquet size on the "
                         "multirail dual-NIC topology (measured vs model)")
+    p.add_argument("--sweep-nodes", action="store_true",
+                   help="scale-out grid: generated tori up to 256 nodes "
+                        "under open-loop traffic (p50/p99 FCT, events/MB)")
     p.add_argument("--sweep-out", default="",
-                   help="with --sweep-pipeline/--sweep-rails: also write "
-                        "the sweep table as JSON to this path")
+                   help="with a --sweep-* flag: also write the sweep table "
+                        "as JSON to this path")
+    p.add_argument("--scenario", metavar="FILE",
+                   help="run one declarative traffic scenario "
+                        "(YAML or JSON, see docs/scaling.md)")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -479,6 +535,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "remain")
     p.add_argument("--replay", metavar="FILE",
                    help="re-execute one repro file instead of a campaign")
+    p.add_argument("--scenario", metavar="FILE",
+                   help="alias for --replay accepting scenario files "
+                        "(YAML or JSON, bare or fuzz-repro wrapped)")
     p.add_argument("--minimize", action="store_true",
                    help="with --replay: shrink the scenario first if it "
                         "still fails")

@@ -4,9 +4,10 @@ The chaos harness (``tools/chaos.py``) replays hand-picked fault schedules
 on one fixed topology; this package explores the configuration space
 systematically:
 
-* :mod:`~repro.fuzz.scenario` — a :class:`Scenario` is one complete,
+* :mod:`repro.scenario` — a :class:`Scenario` is one complete,
   JSON-serializable experiment: topology shape, virtual-channel knobs,
-  traffic mix, and a seeded :class:`~repro.faults.FaultPlan`;
+  traffic mix, and a seeded :class:`~repro.faults.FaultPlan` (previously
+  ``repro.fuzz.scenario``, which remains as a deprecated shim);
 * :mod:`~repro.fuzz.generate` — draws scenarios from a seed and mutates
   corpus entries (coverage-guided exploration);
 * :mod:`~repro.fuzz.executor` — runs one scenario under an event-budget
@@ -17,12 +18,12 @@ systematically:
 * :mod:`~repro.fuzz.autopilot` — the campaign loop behind ``repro fuzz``.
 """
 
+from ..scenario import MessageSpec, Scenario, Topology
 from .autopilot import CampaignReport, run_campaign
 from .corpus import load_repro, repro_name, save_repro
 from .executor import FuzzFailure, FuzzResult, run_scenario
 from .generate import mutate_scenario, random_scenario
 from .minimize import minimize_scenario
-from .scenario import MessageSpec, Scenario, Topology
 
 __all__ = [
     "MessageSpec", "Scenario", "Topology",

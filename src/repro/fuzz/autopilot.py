@@ -20,7 +20,7 @@ from .corpus import repro_name, save_repro
 from .executor import run_scenario
 from .generate import mutate_scenario, random_scenario
 from .minimize import minimize_scenario
-from .scenario import Scenario
+from ..scenario import Scenario
 
 __all__ = ["CampaignReport", "run_campaign"]
 

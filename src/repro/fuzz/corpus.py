@@ -13,7 +13,7 @@ import pathlib
 from typing import Union
 
 from .executor import FuzzResult
-from .scenario import Scenario
+from ..scenario import Scenario
 
 __all__ = ["save_repro", "load_repro", "repro_name"]
 
@@ -42,9 +42,21 @@ def save_repro(path: Union[str, pathlib.Path], result: FuzzResult) -> None:
 
 
 def load_repro(path: Union[str, pathlib.Path]) -> Scenario:
-    """The scenario of a repro file (its recorded failures are advisory)."""
-    doc = json.loads(pathlib.Path(path).read_text())
-    version = doc.get("version", REPRO_VERSION)
-    if version != REPRO_VERSION:
-        raise ValueError(f"unsupported repro version {version} in {path}")
-    return Scenario.from_dict(doc["scenario"])
+    """The scenario of a repro file (its recorded failures are advisory).
+
+    Accepts classic JSON repro documents (with the ``scenario`` wrapper)
+    and, via :mod:`repro.scenario.loader`, bare scenario files in JSON or
+    YAML — so ``repro fuzz --replay`` runs anything ``repro bench
+    --scenario`` runs.
+    """
+    path = pathlib.Path(path)
+    if path.suffix.lower() not in (".json",):
+        from ..scenario import load_scenario
+        return load_scenario(path)
+    doc = json.loads(path.read_text())
+    if "scenario" in doc:
+        version = doc.get("version", REPRO_VERSION)
+        if version != REPRO_VERSION:
+            raise ValueError(f"unsupported repro version {version} in {path}")
+        return Scenario.from_dict(doc["scenario"])
+    return Scenario.from_dict(doc)

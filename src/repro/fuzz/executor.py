@@ -22,6 +22,8 @@ I5  no buffer-pool leak — protocol pools and staging rings are empty
 I6  conservation laws — the exact identities of
     :mod:`repro.telemetry.conservation`.
 I7  pipeline drained — gateway occupancy gauges back at zero.
+I8  no stripe-reassembly leak — an aborted stripe group's executor
+    process has exited (rails that never attach must not strand it).
 
 Structural invariants (I4/I5/I7) are skipped when the scenario crashes
 nodes or a worker abandoned messages: those paths legitimately strand
@@ -37,14 +39,12 @@ from typing import Optional
 
 import numpy as np
 
-from ..hw import build_world
-from ..hw.params import GatewayParams, PipelineConfig
 from ..madeleine import (RecvMode, ReliableEndpoint, RetryPolicy, SendMode,
                          Session, reset_global_ids)
-from ..routing import NoRouteError, StripePolicy
+from ..routing import NoRouteError
 from ..sim import ProcessCrashed, RetryExhausted
+from ..scenario import Scenario
 from ..telemetry.conservation import FRAGMENT_LAW, STRIPE_LAW
-from .scenario import Scenario
 
 __all__ = ["FuzzFailure", "FuzzResult", "run_scenario"]
 
@@ -100,42 +100,14 @@ class _Run:
     """All mutable state of one scenario execution."""
 
     def __init__(self, scenario: Scenario) -> None:
-        scenario.validate()
         # Bit-identical replays: fault-recovery branches on wire content
         # that embeds the process-wide id counters, so every run starts
         # from the same id space.
         reset_global_ids()
         self.scenario = scenario
-        topo = scenario.topology
-        self.world = build_world(topo.node_spec())
-        self.session = Session(self.world, packet_size=scenario.packet_size,
-                               telemetry=True)
-        s = self.session
-        self.channels = {}
-        for name, proto, members, aidx in topo.channel_specs():
-            self.channels[name] = s.channel(proto, members, name=name,
-                                            adapter_index=aidx)
-        # Arm after the channels exist so link-event targets validate;
-        # quiet plans stay unarmed to also cover the injector-free hot path.
-        if not scenario.quiet:
-            scenario.faults.arm(self.world)
-        pipeline = None
-        if scenario.pipeline is not None:
-            depth, credits, lockstep = scenario.pipeline
-            pipeline = PipelineConfig(depth=depth, credits=credits,
-                                      lockstep=lockstep)
-        stripe = None
-        if scenario.stripe is not None:
-            stripe = StripePolicy(max_rails=scenario.stripe[0],
-                                  min_stripe=scenario.stripe[1])
-        self.vch = s.virtual_channel(
-            list(self.channels.values()),
-            gateway_params=GatewayParams(
-                stall_timeout=scenario.gw_stall_timeout),
-            multirail=scenario.multirail,
-            header_batching=scenario.header_batching,
-            pipeline=pipeline,
-            stripe_policy=stripe)
+        self.session = Session.from_scenario(scenario)
+        self.world = self.session.world
+        self.vch = self.session.virtual_channels[0]
         #: message index -> "delivered" | "typed:<Error>" | None (stuck)
         self.outcomes: dict[int, Optional[str]] = {
             i: None for i in range(len(scenario.messages))}
@@ -145,6 +117,7 @@ class _Run:
         self.failures: list[FuzzFailure] = []
         self.crashed: Optional[str] = None
         self._receivers_done: list[bool] = []
+        self.traffic_engine = None
 
     # -- traffic processes -------------------------------------------------------
     def _reliable_sender(self, src: str, indices: list[int],
@@ -219,13 +192,20 @@ class _Run:
                 self._receivers_done.append(False)
                 s.spawn(self._plain_receiver(dst, count, slot),
                         name=f"fuzz-recv:{dst}")
+        if scenario.traffic is not None:
+            from ..traffic import TrafficEngine
+            self.traffic_engine = TrafficEngine(s, scenario)
+            self.traffic_engine.start()
         return rel
 
     # -- the watchdog loop -------------------------------------------------------
     def drive(self) -> None:
         sim = self.session.sim
+        traffic_bytes = (sum(f.nbytes for f in self.traffic_engine.flows)
+                         if self.traffic_engine is not None else 0)
         budget = (_BUDGET_FLOOR + _BUDGET_PER_KB
-                  * (sum(m.nbytes for m in self.scenario.messages) // 1024)
+                  * ((sum(m.nbytes for m in self.scenario.messages)
+                      + traffic_bytes) // 1024)
                   * self.scenario.max_attempts)
         start = sim.events_processed
         try:
@@ -275,6 +255,13 @@ class _Run:
                 self.failures.append(FuzzFailure(
                     "deadlock", f"plain receiver {slot} still waiting at "
                                 f"heap drain"))
+        if self.traffic_engine is not None:
+            eng = self.traffic_engine
+            if len(eng.records) != len(eng.flows):
+                self.failures.append(FuzzFailure(
+                    "deadlock",
+                    f"traffic: {len(eng.records)}/{len(eng.flows)} flows "
+                    f"completed at heap drain"))
         if scenario.quiet:
             for i, outcome in self.outcomes.items():
                 if outcome is not None and outcome != "delivered":
@@ -358,6 +345,18 @@ class _Run:
                         f"gateway.occupancy{inst.labels} = {inst.value} "
                         f"after drain"))
 
+        # I8: no stripe-reassembly executor leak — an aborted group must
+        # have drained its executor process (abort() force-triggers the
+        # pending rail-attach events precisely so it can exit).
+        for ep in self.vch._endpoints.values():
+            for (origin, stripe_id), group in ep._stripe_groups.items():
+                if group.aborted and not getattr(group, "_exec_done", False):
+                    self.failures.append(FuzzFailure(
+                        "stripe-leak",
+                        f"stripe group (origin={origin}, id={stripe_id}) "
+                        f"was aborted but its reassembly executor is still "
+                        f"blocked after drain"))
+
     # -- coverage ----------------------------------------------------------------
     def signature(self) -> frozenset:
         scenario = self.scenario
@@ -366,6 +365,8 @@ class _Run:
                  f"batch:{scenario.header_batching}",
                  f"stripe:{scenario.stripe is not None}",
                  f"multirail:{scenario.multirail}"}
+        if scenario.traffic is not None:
+            feats.add(f"traffic:{scenario.traffic.pattern}")
         if scenario.pipeline is not None:
             depth, _credits, lockstep = scenario.pipeline
             feats.add("pipe:lockstep" if lockstep else f"pipe:depth{depth}")
@@ -397,5 +398,8 @@ def run_scenario(scenario: Scenario) -> FuzzResult:
         "forwarded": int(m.total("gateway.messages_forwarded")),
         "abandoned": int(m.total("gateway.messages_abandoned")),
     }
+    if run.traffic_engine is not None:
+        stats["flows"] = len(run.traffic_engine.flows)
+        stats["flows_done"] = len(run.traffic_engine.records)
     return FuzzResult(scenario=scenario, failures=run.failures,
                       features=run.signature(), stats=stats)

@@ -14,7 +14,7 @@ import random
 from typing import Optional
 
 from ..faults import ChannelFaults, FaultPlan, LinkEvent, NodeEvent
-from .scenario import MessageSpec, Scenario, Topology
+from ..scenario import MessageSpec, Scenario, Topology
 
 __all__ = ["random_scenario", "mutate_scenario"]
 

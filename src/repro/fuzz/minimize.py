@@ -16,7 +16,7 @@ from typing import Callable, Iterator, Optional
 
 from ..faults import FaultPlan
 from .executor import run_scenario
-from .scenario import MessageSpec, Scenario, Topology
+from ..scenario import MessageSpec, Scenario, Topology
 
 __all__ = ["minimize_scenario"]
 

@@ -1,311 +1,19 @@
-"""The fuzzer's unit of work: one complete, serializable experiment.
+"""Deprecated shim: the scenario schema moved to :mod:`repro.scenario`.
 
-A :class:`Scenario` pins *everything* a run depends on — topology shape,
-virtual-channel configuration, traffic mix, and the seeded fault schedule —
-so the same scenario dict always replays the same simulated microseconds.
-Channel and node names are deterministic functions of the topology
-(``c0``/``ca0`` channels, ``a0``/``gw00`` nodes), which is what lets a
-fault plan in a corpus file name its targets portably.
-
-Two topology families cover the paper's configurations:
-
-* ``chain`` — 2..3 homogeneous clusters bridged by 1..2 parallel gateways
-  per boundary (the cluster-of-clusters testbed, §3);
-* ``multirail`` — two endpoints joined by N disjoint rails through N
-  gateways (the striping/multirail layouts).
+The schema outgrew the fuzzer — benches, the chaos harness, and the traffic
+engine consume it too — so it now lives at the top level.  This module
+re-exports the public names for old imports and corpus tooling; new code
+should import from :mod:`repro.scenario`.
 """
 
-from __future__ import annotations
+import warnings
 
-from dataclasses import dataclass, field, replace
-from typing import Mapping, Optional, Tuple, Union
+from ..scenario.schema import (SCENARIO_VERSION, MessageSpec, Scenario,
+                               Topology, TrafficSpec)
 
-from ..faults import FaultPlan
-from ..hw.params import PROTOCOLS
+__all__ = ["MessageSpec", "Topology", "TrafficSpec", "Scenario",
+           "SCENARIO_VERSION"]
 
-__all__ = ["MessageSpec", "Topology", "Scenario", "SCENARIO_VERSION"]
-
-SCENARIO_VERSION = 1
-
-#: cluster name prefixes for the chain family ("a0", "b1", ...).
-_CLUSTER_TAGS = "abc"
-
-
-@dataclass(frozen=True)
-class MessageSpec:
-    """One application transfer. ``kind`` is ``reliable`` (go-back-N over
-    the fault layer) or ``plain`` (raw pack/unpack; only valid on a
-    fault-free scenario, where Madeleine's reliable-network assumption
-    holds)."""
-
-    src: str
-    dst: str
-    nbytes: int
-    kind: str = "reliable"
-
-    def __post_init__(self) -> None:
-        if self.nbytes < 1:
-            raise ValueError(f"message nbytes must be >= 1, got {self.nbytes}")
-        if self.kind not in ("reliable", "plain"):
-            raise ValueError(f"unknown message kind {self.kind!r}")
-
-
-@dataclass(frozen=True)
-class Topology:
-    """Deterministic topology shape; all names derive from these fields."""
-
-    kind: str                        # "chain" | "multirail"
-    protocols: Tuple[str, ...]       # per cluster (chain) / (rail, far) pair
-    sizes: Tuple[int, ...] = ()      # endpoints per cluster (chain only)
-    gateways: Tuple[int, ...] = ()   # per boundary (chain) / (rails,) count
-
-    def __post_init__(self) -> None:
-        unknown = [p for p in self.protocols if p not in PROTOCOLS]
-        if unknown:
-            raise ValueError(f"unknown protocols {unknown}")
-        if self.kind == "chain":
-            if not 2 <= len(self.protocols) <= len(_CLUSTER_TAGS):
-                raise ValueError("chain needs 2..3 clusters")
-            if len(self.sizes) != len(self.protocols):
-                raise ValueError("one size per cluster")
-            if len(self.gateways) != len(self.protocols) - 1:
-                raise ValueError("one gateway count per boundary")
-            if any(s < 1 for s in self.sizes):
-                raise ValueError("cluster sizes must be >= 1")
-            if any(not 1 <= g <= 2 for g in self.gateways):
-                raise ValueError("1..2 gateways per boundary")
-            for a, b in zip(self.protocols, self.protocols[1:]):
-                if a == b:
-                    raise ValueError(
-                        f"adjacent clusters must differ in protocol ({a!r})")
-        elif self.kind == "multirail":
-            if len(self.protocols) != 2 or len(set(self.protocols)) != 2:
-                raise ValueError("multirail needs two distinct protocols")
-            if len(self.gateways) != 1 or not 2 <= self.gateways[0] <= 3:
-                raise ValueError("multirail needs 2..3 rails")
-        else:
-            raise ValueError(f"unknown topology kind {self.kind!r}")
-
-    # -- derived names -----------------------------------------------------------
-    @property
-    def rails(self) -> int:
-        return self.gateways[0]
-
-    def endpoint_names(self) -> list[str]:
-        if self.kind == "multirail":
-            return ["a0", "b0"]
-        return [f"{_CLUSTER_TAGS[c]}{i}"
-                for c, size in enumerate(self.sizes) for i in range(size)]
-
-    def gateway_names(self) -> list[str]:
-        if self.kind == "multirail":
-            return [f"gw{r}" for r in range(self.rails)]
-        return [f"gw{b}{k}" for b, count in enumerate(self.gateways)
-                for k in range(count)]
-
-    def channel_names(self) -> list[str]:
-        if self.kind == "multirail":
-            return [f"c{side}{r}" for r in range(self.rails)
-                    for side in "ab"]
-        return [f"c{c}" for c in range(len(self.protocols))]
-
-    def node_spec(self) -> dict[str, list[str]]:
-        """The ``build_world`` adapter mapping."""
-        if self.kind == "multirail":
-            pa, pb = self.protocols
-            rails = self.rails
-            spec: dict[str, list[str]] = {"a0": [pa] * rails}
-            for r in range(rails):
-                spec[f"gw{r}"] = [pa, pb]
-            spec["b0"] = [pb] * rails
-            return spec
-        spec = {}
-        for c, (proto, size) in enumerate(zip(self.protocols, self.sizes)):
-            for i in range(size):
-                spec[f"{_CLUSTER_TAGS[c]}{i}"] = [proto]
-        for b, count in enumerate(self.gateways):
-            for k in range(count):
-                spec[f"gw{b}{k}"] = [self.protocols[b], self.protocols[b + 1]]
-        return spec
-
-    def channel_specs(self) -> list[tuple[str, str, list[str],
-                                          Union[int, dict]]]:
-        """``(name, protocol, members, adapter_index)`` per real channel."""
-        if self.kind == "multirail":
-            pa, pb = self.protocols
-            out = []
-            for r in range(self.rails):
-                out.append((f"ca{r}", pa, ["a0", f"gw{r}"], {"a0": r}))
-                out.append((f"cb{r}", pb, [f"gw{r}", "b0"], {"b0": r}))
-            return out
-        out = []
-        for c, proto in enumerate(self.protocols):
-            members = [f"{_CLUSTER_TAGS[c]}{i}" for i in range(self.sizes[c])]
-            if c > 0:
-                members += [f"gw{c - 1}{k}"
-                            for k in range(self.gateways[c - 1])]
-            if c < len(self.gateways):
-                members += [f"gw{c}{k}" for k in range(self.gateways[c])]
-            out.append((f"c{c}", proto, members, 0))
-        return out
-
-    @property
-    def n_nodes(self) -> int:
-        return len(self.endpoint_names()) + len(self.gateway_names())
-
-    def to_dict(self) -> dict:
-        return {"kind": self.kind, "protocols": list(self.protocols),
-                "sizes": list(self.sizes), "gateways": list(self.gateways)}
-
-    @classmethod
-    def from_dict(cls, d: Mapping) -> "Topology":
-        return cls(kind=d["kind"], protocols=tuple(d["protocols"]),
-                   sizes=tuple(d.get("sizes", ())),
-                   gateways=tuple(d.get("gateways", ())))
-
-
-@dataclass(frozen=True)
-class Scenario:
-    """Everything one fuzz run depends on, JSON round-trippable."""
-
-    seed: int
-    topology: Topology
-    packet_size: int = 16 << 10
-    header_batching: bool = False
-    multirail: bool = False
-    #: (depth, credits, lockstep) for the gateway pipeline; None = default.
-    pipeline: Optional[Tuple[int, int, bool]] = None
-    #: (max_rails, min_stripe) striping policy; None = no striping.
-    stripe: Optional[Tuple[int, int]] = None
-    messages: Tuple[MessageSpec, ...] = ()
-    faults: FaultPlan = field(default_factory=FaultPlan)
-    max_attempts: int = 8
-    gw_stall_timeout: Optional[float] = 5_000.0
-
-    # -- sanity -------------------------------------------------------------------
-    def validate(self) -> None:
-        """Raise :class:`ValueError` on an internally inconsistent scenario
-        (names that don't exist, plain traffic under faults, ...)."""
-        topo = self.topology
-        endpoints = set(topo.endpoint_names())
-        gateways = set(topo.gateway_names())
-        channels = set(topo.channel_names())
-        problems = []
-        if self.packet_size < 1 << 10:
-            problems.append(f"packet_size too small: {self.packet_size}")
-        if not self.messages:
-            problems.append("scenario has no traffic")
-        for m in self.messages:
-            for end in (m.src, m.dst):
-                if end not in endpoints:
-                    problems.append(f"message endpoint {end!r} is not an "
-                                    f"endpoint node (have {sorted(endpoints)})")
-            if m.src == m.dst:
-                problems.append(f"message {m.src!r}->{m.dst!r} is a loopback")
-            if m.kind == "plain" and not self.quiet:
-                problems.append("plain traffic requires a fault-free plan")
-        for cid in self.faults.channels:
-            if cid not in channels:
-                problems.append(f"fault plan names unknown channel {cid!r}")
-        for ev in self.faults.link_events:
-            if ev.channel not in channels:
-                problems.append(f"link event names unknown channel "
-                                f"{ev.channel!r}")
-        for ev in self.faults.node_events:
-            if ev.node not in gateways:
-                # Endpoint crashes make delivery legitimately impossible in
-                # ways the invariant catalog cannot distinguish from bugs;
-                # the fuzzer only crashes forwarding nodes.
-                problems.append(f"node event target {ev.node!r} is not a "
-                                f"gateway (have {sorted(gateways)})")
-        if self.pipeline is not None:
-            depth, credits, lockstep = self.pipeline
-            if lockstep and depth != 2:
-                problems.append("lockstep pipeline must have depth 2")
-            if not 1 <= credits <= depth:
-                problems.append(f"credits {credits} outside [1, {depth}]")
-        if self.stripe is not None and topo.kind != "multirail":
-            problems.append("striping requires the multirail topology")
-        parallel_routes = (topo.kind == "multirail"
-                           or any(g >= 2 for g in topo.gateways))
-        if self.multirail and not parallel_routes:
-            problems.append("multirail dispatch requires parallel routes")
-        if problems:
-            raise ValueError("invalid scenario: " + "; ".join(problems))
-
-    @property
-    def quiet(self) -> bool:
-        """True when the fault plan injects nothing at all."""
-        f = self.faults
-        return (not f.link_events and not f.node_events
-                and (f.default is None or f.default.quiet)
-                and all(cf.quiet for cf in f.channels.values()))
-
-    @property
-    def n_fault_events(self) -> int:
-        return len(self.faults.link_events) + len(self.faults.node_events)
-
-    def with_(self, **kw) -> "Scenario":
-        """`dataclasses.replace` spelled as a method (minimizer passes)."""
-        return replace(self, **kw)
-
-    # -- serialization ------------------------------------------------------------
-    def to_dict(self) -> dict:
-        return {
-            "version": SCENARIO_VERSION,
-            "seed": self.seed,
-            "topology": self.topology.to_dict(),
-            "packet_size": self.packet_size,
-            "header_batching": self.header_batching,
-            "multirail": self.multirail,
-            "pipeline": list(self.pipeline) if self.pipeline else None,
-            "stripe": list(self.stripe) if self.stripe else None,
-            "messages": [{"src": m.src, "dst": m.dst, "nbytes": m.nbytes,
-                          "kind": m.kind} for m in self.messages],
-            "faults": self.faults.to_dict(),
-            "max_attempts": self.max_attempts,
-            "gw_stall_timeout": self.gw_stall_timeout,
-        }
-
-    @classmethod
-    def from_dict(cls, d: Mapping) -> "Scenario":
-        version = d.get("version", SCENARIO_VERSION)
-        if version != SCENARIO_VERSION:
-            raise ValueError(f"unsupported scenario version {version}")
-        pipeline = d.get("pipeline")
-        stripe = d.get("stripe")
-        return cls(
-            seed=int(d["seed"]),
-            topology=Topology.from_dict(d["topology"]),
-            packet_size=int(d.get("packet_size", 16 << 10)),
-            header_batching=bool(d.get("header_batching", False)),
-            multirail=bool(d.get("multirail", False)),
-            pipeline=None if pipeline is None else (int(pipeline[0]),
-                                                    int(pipeline[1]),
-                                                    bool(pipeline[2])),
-            stripe=None if stripe is None else (int(stripe[0]),
-                                                int(stripe[1])),
-            messages=tuple(MessageSpec(**m) for m in d.get("messages", ())),
-            faults=FaultPlan.from_dict(d.get("faults", {})),
-            max_attempts=int(d.get("max_attempts", 8)),
-            gw_stall_timeout=d.get("gw_stall_timeout"),
-        )
-
-    def describe(self) -> str:
-        """One line for progress output."""
-        topo = self.topology
-        shape = (f"{topo.kind}[{'+'.join(topo.protocols)}"
-                 f" gw={list(topo.gateways)}]")
-        knobs = []
-        if self.pipeline:
-            knobs.append(f"pipe={self.pipeline[0]}/{self.pipeline[1]}"
-                         + ("L" if self.pipeline[2] else ""))
-        if self.stripe:
-            knobs.append(f"stripe<={self.stripe[0]}")
-        if self.multirail:
-            knobs.append("multirail")
-        if self.header_batching:
-            knobs.append("batch")
-        return (f"seed={self.seed} {shape} msgs={len(self.messages)} "
-                f"faults={self.n_fault_events}ev"
-                f"{' ' + ' '.join(knobs) if knobs else ''}")
+warnings.warn(
+    "repro.fuzz.scenario is deprecated; import from repro.scenario instead",
+    DeprecationWarning, stacklevel=2)

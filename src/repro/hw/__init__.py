@@ -14,6 +14,8 @@ from .params import (DEFAULT_GATEWAY, DEFAULT_NODE, DEFAULT_PCI,
                      GatewayParams, NodeParams, PCIParams, PipelineConfig,
                      ProtocolParams,
                      register_protocol, scaled)
+from .topogen import (ChannelDef, GeneratedTopology, fat_tree, hierarchy,
+                      torus)
 from .topology import (ClusterSpec, GatewayLink, World,
                        build_cluster_of_clusters, build_world)
 
@@ -27,4 +29,5 @@ __all__ = [
     "register_protocol", "scaled",
     "ClusterSpec", "GatewayLink", "World",
     "build_cluster_of_clusters", "build_world",
+    "ChannelDef", "GeneratedTopology", "fat_tree", "hierarchy", "torus",
 ]

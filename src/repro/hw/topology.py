@@ -25,8 +25,10 @@ __all__ = ["World", "build_world", "ClusterSpec", "build_cluster_of_clusters"]
 class World:
     """All simulation state for one experiment run."""
 
-    def __init__(self, node_params: Optional[NodeParams] = None) -> None:
-        self.sim = Simulator()
+    def __init__(self, node_params: Optional[NodeParams] = None,
+                 scheduler: str = "heap",
+                 bucket_width: Optional[float] = None) -> None:
+        self.sim = Simulator(scheduler=scheduler, bucket_width=bucket_width)
         self.fnet = FluidNetwork(self.sim)
         self.trace = TraceRecorder()
         self.accounting = CopyAccounting()
@@ -78,10 +80,13 @@ class World:
 
 
 def build_world(adapters: Mapping[str, Sequence[str]],
-                node_params: Optional[NodeParams] = None) -> World:
+                node_params: Optional[NodeParams] = None,
+                scheduler: str = "heap",
+                bucket_width: Optional[float] = None) -> World:
     """Build a world from ``{node_name: [protocol names]}`` (insertion order
-    defines ranks)."""
-    world = World(node_params)
+    defines ranks).  ``scheduler``/``bucket_width`` select the event-queue
+    implementation (see :class:`~repro.sim.Simulator`)."""
+    world = World(node_params, scheduler=scheduler, bucket_width=bucket_width)
     for name, protos in adapters.items():
         world.add_node(name, protos)
     return world

@@ -53,6 +53,9 @@ class _ExecutorMixin:
         self._ops: Queue = Queue(sim, name=f"{name}.ops")
         self._finished = sim.event(name=f"{name}.done")
         self._closed = False
+        #: True once the executor process has returned (normally or on a
+        #: failed op) — leak detectors key on this after an abort.
+        self._exec_done = False
         sim.process(self._executor(), name=f"{name}.exec")
 
     def _submit(self, gen) -> Event:
@@ -75,6 +78,7 @@ class _ExecutorMixin:
             try:
                 result = yield from gen
             except BaseException as exc:
+                self._exec_done = True
                 done.fail(exc)
                 return
             # The op's return value rides on the completion event, so ops
@@ -83,6 +87,7 @@ class _ExecutorMixin:
             # event count and trigger instants are unchanged.
             done.succeed(result)
             if last:
+                self._exec_done = True
                 return
 
 

@@ -49,6 +49,7 @@ from .vchannel import DEFAULT_PACKET_SIZE, VirtualChannel
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.plan import FaultPlan
     from ..routing import StripePolicy
+    from ..scenario import Scenario
 
 __all__ = ["Session"]
 
@@ -75,6 +76,53 @@ class Session:
             raise TypeError("telemetry= takes True, False, or None")
         if fault_plan is not None:
             fault_plan.arm(world)
+
+    @classmethod
+    def from_scenario(cls, scenario: "Scenario", *,
+                      telemetry: bool = True) -> "Session":
+        """Build the whole stack a declarative scenario describes.
+
+        Constructs the world (on the scenario's scheduler), every real
+        channel of the topology, arms the fault plan (after the channels
+        exist, so link-event targets validate; quiet plans stay unarmed to
+        keep the injector-free hot path), and bundles the channels into one
+        virtual channel with the scenario's policies.  The construction
+        order is fixed — it is what makes fuzz replays bit-identical.
+
+        The session exposes the result as ``session.channels`` /
+        ``session.virtual_channels[0]``; drive traffic by hand or via
+        :class:`repro.traffic.TrafficEngine`.
+        """
+        scenario.validate()
+        from ..scenario import build_world
+        world = build_world(scenario)
+        session = cls(world, packet_size=scenario.packet_size,
+                      telemetry=telemetry)
+        channels = []
+        for name, proto, members, aidx in scenario.topology.channel_specs():
+            channels.append(session.channel(proto, members, name=name,
+                                            adapter_index=aidx))
+        if not scenario.quiet:
+            scenario.faults.arm(world)
+        pipeline = None
+        if scenario.pipeline is not None:
+            depth, credits, lockstep = scenario.pipeline
+            pipeline = PipelineConfig(depth=depth, credits=credits,
+                                      lockstep=lockstep)
+        stripe = None
+        if scenario.stripe is not None:
+            from ..routing import StripePolicy
+            stripe = StripePolicy(max_rails=scenario.stripe[0],
+                                  min_stripe=scenario.stripe[1])
+        session.virtual_channel(
+            channels,
+            gateway_params=GatewayParams(
+                stall_timeout=scenario.gw_stall_timeout),
+            multirail=scenario.multirail,
+            header_batching=scenario.header_batching,
+            pipeline=pipeline,
+            stripe_policy=stripe)
+        return session
 
     # -- lifecycle ---------------------------------------------------------------
     def __enter__(self) -> "Session":

@@ -158,7 +158,11 @@ class StripedIncoming(_ExecutorMixin):
                 f"duplicate rail seq {record.seq}")
         self._rails[record.seq] = rail
         if self.aborted:
+            # The group was abandoned before this rail arrived; its attach
+            # event was already force-triggered by abort(), so just reclaim
+            # whatever the late rail holds.
             rail.abort()
+            return
         self._attach_evs[record.seq].succeed(rail)
 
     @property
@@ -186,13 +190,36 @@ class StripedIncoming(_ExecutorMixin):
 
     def abort(self) -> None:
         """Abandon the message: abort every attached rail (late-attaching
-        rails are aborted as they arrive)."""
+        rails are aborted as they arrive) and unblock the reassembly
+        executor.
+
+        Rails that never attach would otherwise strand the executor in
+        :meth:`_wait_rails` forever — a process leak holding the group's op
+        queue and any deferred buffers.  Force-triggering the pending
+        attach events wakes the executor, whose next :meth:`_wait_rails`
+        raises and drains it; if no op is in flight, a poison close op is
+        queued so the executor exits instead of waiting on ops that will
+        never come.
+        """
         if self.aborted:
             return
         self.aborted = True
         for rail in self._rails:
             if rail is not None:
                 rail.abort()
+        for ev in self._attach_evs:
+            if not ev.triggered:
+                ev.succeed(None)
+        # Nobody legitimately waits on an abandoned message's completion;
+        # defuse so the executor's failure does not re-raise through the
+        # kernel when the application has already walked away.
+        self._finished.defuse()
+        if not self._closed:
+            self._submit_final(self._abort_close())
+
+    def _abort_close(self):
+        raise _StripeAborted()
+        yield  # pragma: no cover - makes this a generator
 
     # -- ops --------------------------------------------------------------------
     def _op_unpack(self, buf: Buffer, smode: SendMode, rmode: RecvMode):

@@ -29,7 +29,15 @@ if TYPE_CHECKING:  # pragma: no cover
 
 from .graph import build_graph
 
-__all__ = ["Hop", "RouteTable", "NoRouteError"]
+__all__ = ["Hop", "RouteTable", "NoRouteError", "MAX_ROUTE_CANDIDATES"]
+
+#: Cap on the number of shortest node-paths :meth:`RouteTable.all_routes`
+#: enumerates.  On highly symmetric graphs (tori, fat-trees) the number of
+#: equal-cost paths grows combinatorially with distance; rail selection only
+#: ever consumes a handful of disjoint candidates, so enumeration stops after
+#: this many paths (the BFS generator yields them in a deterministic order,
+#: so the truncated set is still reproducible across runs).
+MAX_ROUTE_CANDIDATES = 64
 
 
 class NoRouteError(RuntimeError):
@@ -71,6 +79,11 @@ class RouteTable:
         self.channels = list(channels)
         self.graph = build_graph(self.channels)
         self._cache: dict[tuple[int, int], list[Hop]] = {}
+        #: per-destination BFS distance maps over the active graph; shared by
+        #: every source routing toward that destination, so a table over an
+        #: N-node topology costs one BFS per destination instead of one
+        #: shortest-path enumeration per (src, dst) pair.
+        self._dist: dict[int, dict[int, int]] = {}
         self._down_channels: set[str] = set()
         self._down_nodes: set[int] = set()
         self._active: nx.MultiGraph | None = None
@@ -106,6 +119,7 @@ class RouteTable:
         failure can never be served after it.
         """
         self._cache.clear()
+        self._dist.clear()
         self._active = None
         self._generation += 1
         self._m_invalidations.inc()
@@ -219,12 +233,16 @@ class RouteTable:
             if rank not in g:
                 raise self._unreachable(rank)
         try:
-            paths = list(nx.all_shortest_paths(g, src, dst))
+            paths = list(itertools.islice(
+                nx.all_shortest_paths(g, src, dst), MAX_ROUTE_CANDIDATES))
         except nx.NetworkXNoPath:
             raise self._no_path(src, dst) from None
         routes: list[list[Hop]] = []
         for path in paths:
             routes.extend(self._expand_path(path))
+            if len(routes) >= MAX_ROUTE_CANDIDATES:
+                del routes[MAX_ROUTE_CANDIDATES:]
+                break
         routes.sort(key=_route_key)
         return routes
 
@@ -254,17 +272,53 @@ class RouteTable:
                       f"{sorted(self._down_nodes) or 'none'})")
         return NoRouteError(f"no route from {src} to {dst}{detail}")
 
+    def _distances(self, dst: int) -> dict[int, int]:
+        """Hop distance of every rank that can reach ``dst`` (BFS, cached).
+
+        One map serves every source routing toward ``dst`` — the gateways
+        along a route share the origin's map instead of each enumerating
+        shortest paths from scratch, which keeps per-flow routing state O(1)
+        once the map is warm.
+        """
+        dist = self._dist.get(dst)
+        if dist is None:
+            g = self.active_graph
+            dist = {dst: 0}
+            frontier = [dst]
+            d = 0
+            while frontier:
+                d += 1
+                nxt = []
+                for node in frontier:
+                    for nbr in g.adj[node]:
+                        if nbr not in dist:
+                            dist[nbr] = d
+                            nxt.append(nbr)
+                frontier = nxt
+            self._dist[dst] = dist
+        return dist
+
     def _compute(self, src: int, dst: int) -> list[Hop]:
         self._m_recomputes.inc()
         g = self.active_graph
         for rank in (src, dst):
             if rank not in g:
                 raise self._unreachable(rank)
-        try:
-            paths = list(nx.all_shortest_paths(g, src, dst))
-        except nx.NetworkXNoPath:
-            raise self._no_path(src, dst) from None
-        path = min(paths)  # deterministic tie-break on rank sequence
+        dist = self._distances(dst)
+        d = dist.get(src)
+        if d is None:
+            raise self._no_path(src, dst)
+        # Greedy descent over the BFS distance map: at each step take the
+        # smallest-rank neighbour one hop closer to dst.  This is exactly the
+        # lexicographically smallest shortest path (the old
+        # min(all_shortest_paths) tie-break) without enumerating the
+        # combinatorial path set of symmetric topologies.
+        path = [src]
+        cur = src
+        while d:
+            cur = min(n for n in g.adj[cur] if dist.get(n) == d - 1)
+            path.append(cur)
+            d -= 1
         return self._hops_for(path)
 
     def _hops_for(self, path: list[int]) -> list[Hop]:

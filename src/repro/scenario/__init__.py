@@ -1,0 +1,32 @@
+"""The declarative scenario layer: one schema for every harness.
+
+A :class:`Scenario` describes a complete experiment — topology, traffic
+(explicit messages and/or a generated :class:`TrafficSpec`), policies
+(pipeline, striping, batching), the seeded fault plan, and the event
+scheduler — as one JSON/YAML-serializable value.  Benches
+(``repro bench --scenario``), the fuzzer (``repro fuzz --replay``), the
+chaos harness, and the traffic engine (:mod:`repro.traffic`) all consume
+this one format.
+
+Entry points:
+
+* :func:`load_scenario` / :func:`dump_scenario` — file I/O (YAML needs
+  PyYAML; JSON always works);
+* :func:`build_world` — the scenario's world (nodes + scheduler);
+* :meth:`repro.madeleine.Session.from_scenario` — the whole stack: world,
+  channels, armed faults, virtual channel.
+
+The schema previously lived at ``repro.fuzz.scenario``; that module remains
+as a deprecated import shim.
+"""
+
+from .build import build_world
+from .loader import dump_scenario, load_scenario, loads_scenario
+from .schema import (SCENARIO_VERSION, TRAFFIC_PATTERNS, MessageSpec,
+                     Scenario, Topology, TrafficSpec)
+
+__all__ = [
+    "MessageSpec", "Scenario", "Topology", "TrafficSpec",
+    "SCENARIO_VERSION", "TRAFFIC_PATTERNS",
+    "build_world", "dump_scenario", "load_scenario", "loads_scenario",
+]

@@ -1,0 +1,14 @@
+"""Open-loop traffic generation over declarative scenarios.
+
+:mod:`repro.traffic.flows` expands a :class:`~repro.scenario.TrafficSpec`
+into deterministic flows (Poisson arrivals; uniform / permutation /
+hotspot / incast patterns); :mod:`repro.traffic.engine` drives them over a
+session and reports flow-completion-time statistics (p50/p99) plus
+``traffic.*`` telemetry.
+"""
+
+from .engine import FlowRecord, TrafficEngine, run_traffic
+from .flows import Flow, generate_flows
+
+__all__ = ["Flow", "FlowRecord", "TrafficEngine", "generate_flows",
+           "run_traffic"]

@@ -1,0 +1,230 @@
+"""The traffic engine: drive hundreds of concurrent flows over a session.
+
+The engine expands a scenario's :class:`~repro.scenario.TrafficSpec` into
+deterministic flows (:mod:`repro.traffic.flows`) and drives them open-loop:
+every flow starts at its Poisson arrival time regardless of whether earlier
+flows finished, so offered load — not completion rate — shapes the arrival
+process, and congestion shows up as flow-completion-time (FCT) inflation
+instead of silently throttling the workload.
+
+Plain flows carry a 12-byte self-describing header (flow id + length) so
+per-destination receivers can demultiplex arrivals in any order; reliable
+flows ride :class:`~repro.madeleine.ReliableEndpoint` and complete at the
+sender's delivery ack.  Flow-level results are recorded twice: exact
+per-flow records on the engine (:attr:`TrafficEngine.records`, feeding the
+p50/p99 summary) and aggregate metrics through the telemetry registry
+(``traffic.*`` — see docs/telemetry.md).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from ..scenario import Scenario, TrafficSpec
+from .flows import Flow, generate_flows
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..madeleine import Session
+
+__all__ = ["FlowRecord", "TrafficEngine", "run_traffic"]
+
+#: plain-flow framing: little-endian (flow_id: u32, nbytes: u64).
+_FRAME = struct.Struct("<IQ")
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One finished flow: completion time minus open-loop arrival time."""
+
+    flow: Flow
+    completed_at: float
+
+    @property
+    def fct(self) -> float:
+        """Flow completion time, µs."""
+        return self.completed_at - self.flow.arrival
+
+
+class TrafficEngine:
+    """Expand a scenario's traffic spec and drive it over ``session``.
+
+    Usage::
+
+        session = Session.from_scenario(scenario)
+        engine = TrafficEngine(session, scenario)
+        engine.start()
+        session.run()
+        print(engine.summary())
+    """
+
+    def __init__(self, session: "Session", scenario: Scenario,
+                 spec: Optional[TrafficSpec] = None,
+                 endpoints: Optional[Sequence[str]] = None) -> None:
+        spec = spec if spec is not None else scenario.traffic
+        if spec is None:
+            raise ValueError("scenario has no traffic spec")
+        if not session.virtual_channels:
+            raise ValueError("session has no virtual channel")
+        self.session = session
+        self.scenario = scenario
+        self.spec = spec
+        self.vch = session.virtual_channels[0]
+        names = list(endpoints if endpoints is not None
+                     else scenario.topology.endpoint_names())
+        self.flows = generate_flows(spec, scenario.seed, names)
+        self.records: list[FlowRecord] = []
+        self._arrivals = {f.index: f.arrival for f in self.flows}
+        self._active = 0
+        self.peak_active = 0
+        self._started = False
+        m = session.metrics
+        self._m_started = m.counter("traffic.flows_started")
+        self._m_completed = m.counter("traffic.flows_completed")
+        self._m_active = m.gauge("traffic.active_flows")
+        self._m_fct = m.histogram("traffic.fct_us")
+        self._m_bytes = m.counter("traffic.bytes_delivered")
+
+    # -- flow lifecycle bookkeeping -----------------------------------------
+    def _flow_started(self) -> None:
+        self._m_started.inc()
+        self._active += 1
+        if self._active > self.peak_active:
+            self.peak_active = self._active
+        self._m_active.inc()
+
+    def _flow_completed(self, flow: Flow) -> None:
+        self._active -= 1
+        self._m_active.dec()
+        self._m_completed.inc()
+        self._m_bytes.inc(flow.nbytes)
+        record = FlowRecord(flow=flow, completed_at=self.session.now)
+        self._m_fct.observe(record.fct)
+        self.records.append(record)
+
+    # -- plain traffic -------------------------------------------------------
+    def _plain_sender(self, flow: Flow):
+        from ..madeleine import RecvMode, SendMode
+        s = self.session
+        sim = s.sim
+        if flow.arrival > sim.now:
+            yield sim.timeout(flow.arrival - sim.now)
+        self._flow_started()
+        payload = _payload(self.scenario.seed, flow.index, flow.nbytes)
+        ep = self.vch.endpoint(s.rank(flow.src))
+        msg = ep.begin_packing(s.rank(flow.dst))
+        yield msg.pack(_FRAME.pack(flow.index, flow.nbytes),
+                       SendMode.CHEAPER, RecvMode.EXPRESS)
+        yield msg.pack(payload, SendMode.CHEAPER, RecvMode.CHEAPER)
+        yield msg.end_packing()
+
+    def _plain_receiver(self, dst: str, count: int):
+        from ..madeleine import RecvMode, SendMode
+        s = self.session
+        ep = self.vch.endpoint(s.rank(dst))
+        by_index = {f.index: f for f in self.flows}
+        for _ in range(count):
+            inc = yield ep.begin_unpacking()
+            ev, head = inc.unpack(_FRAME.size, SendMode.CHEAPER,
+                                  RecvMode.EXPRESS)
+            yield ev
+            flow_id, nbytes = _FRAME.unpack(head.tobytes())
+            _ev, _buf = inc.unpack(int(nbytes), SendMode.CHEAPER,
+                                   RecvMode.CHEAPER)
+            yield inc.end_unpacking()
+            self._flow_completed(by_index[flow_id])
+
+    # -- reliable traffic ----------------------------------------------------
+    def _reliable_sender(self, flows: list[Flow], rel) -> object:
+        s = self.session
+        sim = s.sim
+        for flow in flows:
+            if flow.arrival > sim.now:
+                yield sim.timeout(flow.arrival - sim.now)
+            self._flow_started()
+            payload = _payload(self.scenario.seed, flow.index, flow.nbytes)
+            yield from rel.send(s.rank(flow.dst), payload)
+            self._flow_completed(flow)
+
+    # -- entry points --------------------------------------------------------
+    def start(self) -> None:
+        """Spawn every traffic process; drive with ``session.run()``.
+
+        Plain traffic gets one sender process per flow (arrivals are
+        open-loop; concurrent sends to one destination queue on the
+        connection locks, which is the congestion under test) and one
+        receiver process per destination.  Reliable traffic is serialized
+        per source — the go-back-N window is per endpoint pair — with
+        queueing delay counted into FCT.
+        """
+        if self._started:
+            raise RuntimeError("traffic already started")
+        self._started = True
+        s = self.session
+        if self.spec.kind == "reliable":
+            from ..madeleine import ReliableEndpoint, RetryPolicy
+            policy = RetryPolicy(max_attempts=self.scenario.max_attempts)
+            parties = sorted({f.src for f in self.flows}
+                             | {f.dst for f in self.flows})
+            rel = {}
+            for name in parties:
+                rank = s.rank(name)
+                rel[rank] = ReliableEndpoint(self.vch.endpoint(rank), policy)
+            by_src: dict[str, list[Flow]] = {}
+            for f in self.flows:
+                by_src.setdefault(f.src, []).append(f)
+            for src in sorted(by_src):
+                s.spawn(self._reliable_sender(by_src[src], rel[s.rank(src)]),
+                        name=f"traffic-send:{src}")
+        else:
+            by_dst: dict[str, int] = {}
+            for f in self.flows:
+                by_dst[f.dst] = by_dst.get(f.dst, 0) + 1
+            for dst in sorted(by_dst):
+                s.spawn(self._plain_receiver(dst, by_dst[dst]),
+                        name=f"traffic-recv:{dst}")
+            for f in self.flows:
+                s.spawn(self._plain_sender(f),
+                        name=f"traffic-flow:{f.index}")
+
+    def summary(self) -> dict:
+        """Flow-level statistics after the run (times in µs)."""
+        fcts = np.array([r.fct for r in self.records]) if self.records \
+            else np.array([0.0])
+        total_bytes = sum(r.flow.nbytes for r in self.records)
+        duration = self.session.now
+        events = self.session.sim.events_processed
+        mb = total_bytes / 1e6
+        return {
+            "flows": len(self.flows),
+            "completed": len(self.records),
+            "peak_active": self.peak_active,
+            "p50_fct_us": float(np.percentile(fcts, 50)),
+            "p99_fct_us": float(np.percentile(fcts, 99)),
+            "mean_fct_us": float(fcts.mean()),
+            "max_fct_us": float(fcts.max()),
+            "duration_us": duration,
+            "bytes": total_bytes,
+            "goodput_mbs": (total_bytes / duration) if duration else 0.0,
+            "events": events,
+            "events_per_mb": (events / mb) if mb else float("inf"),
+        }
+
+
+def _payload(seed: int, index: int, nbytes: int) -> bytes:
+    rng = np.random.default_rng((seed, index))
+    return rng.integers(0, 256, nbytes, dtype=np.uint8).tobytes()
+
+
+def run_traffic(scenario: Scenario, *, telemetry: bool = True):
+    """Build the scenario's stack, drive its traffic to completion, and
+    return ``(session, engine)`` — the one-call entry the benches use."""
+    from ..madeleine import Session
+    session = Session.from_scenario(scenario, telemetry=telemetry)
+    engine = TrafficEngine(session, scenario)
+    engine.start()
+    session.run()
+    return session, engine

@@ -114,6 +114,17 @@ def test_batching_reduction_floor_enforced(baseline):
     assert any("batching.record_reduction" in f for f in failures)
 
 
+def test_event_growth_ceiling_enforced(baseline):
+    # A *maximum*-type floor: growth above the ceiling fails, below passes.
+    baseline["floors"] = {"sweep_nodes_event_growth": 1.3}
+    current = {"sweep_nodes": {"event_growth": 1.45}}
+    failures = rg.compare_to_baseline(current, baseline)
+    assert any("sweep_nodes.event_growth" in f and "sub-linear" in f
+               for f in failures)
+    current = {"sweep_nodes": {"event_growth": 0.9}}
+    assert rg.compare_to_baseline(current, baseline) == []
+
+
 def test_floors_ignored_when_scenario_skipped(baseline):
     # a --quick subset that omits the scenario must not trip its floor
     baseline["floors"] = {"pipeline_depth4_gain": 0.10,

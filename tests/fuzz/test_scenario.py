@@ -84,7 +84,7 @@ def _chain(**kw):
      "unknown channel"),
     (dict(pipeline=(3, 3, True)), "lockstep"),
     (dict(pipeline=(2, 5, False)), "credits"),
-    (dict(stripe=(2, 4096)), "multirail topology"),
+    (dict(stripe=(2, 4096)), "parallel routes"),
     (dict(multirail=True), "parallel routes"),
 ])
 def test_bad_scenarios_rejected(kw, match):

@@ -1,0 +1,132 @@
+"""Topology generator properties: determinism, connectivity, gateways,
+and parallel-rail availability on generated networks."""
+
+import itertools
+
+import pytest
+
+from repro.hw import fat_tree, hierarchy, torus
+from repro.hw.topogen import GeneratedTopology
+
+
+def _names(topo: GeneratedTopology) -> list[str]:
+    return [name for name, _nics in topo.nodes]
+
+
+def _graph(topo: GeneratedTopology) -> dict[str, set[str]]:
+    adj: dict[str, set[str]] = {n: set() for n in _names(topo)}
+    for ch in topo.channels:
+        for a, b in itertools.combinations(ch.members, 2):
+            adj[a].add(b)
+            adj[b].add(a)
+    return adj
+
+
+def _connected(topo: GeneratedTopology) -> bool:
+    adj = _graph(topo)
+    names = _names(topo)
+    seen = {names[0]}
+    frontier = [names[0]]
+    while frontier:
+        nxt = []
+        for cur in frontier:
+            for n in adj[cur]:
+                if n not in seen:
+                    seen.add(n)
+                    nxt.append(n)
+        frontier = nxt
+    return len(seen) == len(names)
+
+
+GENERATORS = [
+    lambda: hierarchy(clusters=3, cluster_size=4, gateways_per_boundary=2),
+    lambda: hierarchy(clusters=5, cluster_size=2, gateways_per_boundary=1,
+                      protocols=("myrinet", "sci", "gigabit_tcp")),
+    lambda: fat_tree(leaves=4, spines=2, hosts_per_leaf=3),
+    lambda: torus(dims=(4, 4)),
+    lambda: torus(dims=(3, 3, 3)),
+    lambda: torus(dims=(2, 5)),
+]
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+def test_generation_is_deterministic(gen):
+    a, b = gen(), gen()
+    assert a.nodes == b.nodes
+    assert a.channels == b.channels
+    assert a.endpoints == b.endpoints
+    assert a.gateways == b.gateways
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+def test_generated_topologies_are_connected(gen):
+    topo = gen()
+    assert _connected(topo)
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+def test_nic_indices_match_world_builder(gen):
+    # Each member's adapter_index must equal the number of same-protocol
+    # NICs added before it — the World.add_adapter numbering.
+    topo = gen()
+    counts: dict[tuple[str, str], int] = {}
+    for ch in topo.channels:
+        for member in ch.members:
+            key = (member, ch.protocol)
+            assert ch.adapter_index[member] == counts.get(key, 0)
+            counts[key] = counts.get(key, 0) + 1
+
+
+def test_hierarchy_gateway_placement():
+    topo = hierarchy(clusters=3, cluster_size=4, gateways_per_boundary=2)
+    # 2 boundaries x 2 gateways; every gateway sits in exactly 2 channels.
+    assert len(topo.gateways) == 4
+    for gw in topo.gateways:
+        spanning = [c for c in topo.channels if gw in c.members]
+        assert len(spanning) == 2
+    # endpoints and gateways partition the node set
+    assert set(topo.endpoints) | set(topo.gateways) == set(_names(topo))
+    assert not set(topo.endpoints) & set(topo.gateways)
+
+
+def test_fat_tree_shape():
+    topo = fat_tree(leaves=4, spines=2, hosts_per_leaf=3)
+    assert len(topo.endpoints) == 12
+    # leaf switches span their leaf channel plus one uplink per spine
+    assert "lsw0" in topo.gateways and "ssw0" in topo.gateways
+    assert topo.node_count == 12 + 4 + 2
+
+
+def test_torus_every_node_is_endpoint_and_gateway():
+    topo = torus(dims=(4, 4))
+    assert topo.node_count == 16
+    assert set(topo.endpoints) == set(_names(topo))
+    # interior forwarding: every torus node joins its 4 per-axis links
+    assert set(topo.gateways) == set(_names(topo))
+    for node in _names(topo):
+        assert len([c for c in topo.channels if node in c.members]) == 4
+
+
+def test_torus_size2_axis_has_no_duplicate_links():
+    topo = torus(dims=(2, 3))
+    for a, b in itertools.combinations(topo.channels, 2):
+        assert set(a.members) != set(b.members) or a.protocol != b.protocol
+
+
+def test_torus_offers_disjoint_rails():
+    from repro.madeleine import Session
+    from repro.routing.striping import disjoint_routes
+    from repro.scenario import MessageSpec, Scenario, Topology
+
+    sc = Scenario(seed=0, topology=Topology(kind="torus",
+                                            protocols=("myrinet",),
+                                            dims=(4, 4)),
+                  messages=(MessageSpec("t0_0", "t2_2", 1024),))
+    session = Session.from_scenario(sc)
+    vch = session.virtual_channels[0]
+    src = session.rank("t0_0")
+    dst = session.rank("t2_2")
+    rails = disjoint_routes(vch.routes.all_routes(src, dst), max_rails=4)
+    assert len(rails) >= 2
+    for rail in rails:
+        assert rail[0].src == src and rail[-1].dst == dst

@@ -1,0 +1,80 @@
+"""Flow generation properties: determinism, pattern shapes, arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.scenario import TrafficSpec
+from repro.traffic import generate_flows
+
+ENDPOINTS = [f"n{i}" for i in range(8)]
+
+
+def test_generation_is_deterministic():
+    spec = TrafficSpec(pattern="uniform", flows=64, size_jitter=0.25)
+    for seed in range(10):
+        a = generate_flows(spec, seed, ENDPOINTS)
+        b = generate_flows(spec, seed, ENDPOINTS)
+        assert a == b
+
+
+def test_different_seeds_differ():
+    spec = TrafficSpec(pattern="uniform", flows=64)
+    a = generate_flows(spec, 1, ENDPOINTS)
+    b = generate_flows(spec, 2, ENDPOINTS)
+    assert a != b
+
+
+def test_arrivals_are_open_loop_poisson():
+    spec = TrafficSpec(pattern="uniform", flows=2000,
+                       mean_interarrival=100.0)
+    flows = generate_flows(spec, 3, ENDPOINTS)
+    arrivals = np.array([f.arrival for f in flows])
+    gaps = np.diff(np.concatenate([[0.0], arrivals]))
+    assert (gaps >= 0).all()                       # monotone arrivals
+    assert gaps.mean() == pytest.approx(100.0, rel=0.1)
+
+
+def test_no_flow_is_loopback():
+    for pattern in ("uniform", "permutation", "hotspot", "incast"):
+        spec = TrafficSpec(pattern=pattern, flows=200)
+        for f in generate_flows(spec, 7, ENDPOINTS):
+            assert f.src != f.dst, pattern
+
+
+def test_permutation_is_a_fixed_mapping():
+    spec = TrafficSpec(pattern="permutation", flows=64)
+    flows = generate_flows(spec, 5, ENDPOINTS)
+    mapping = {}
+    for f in flows:
+        assert mapping.setdefault(f.src, f.dst) == f.dst
+    # a permutation: no two sources share a destination
+    assert len(set(mapping.values())) == len(mapping)
+
+
+def test_incast_converges_on_one_sink():
+    spec = TrafficSpec(pattern="incast", flows=100)
+    flows = generate_flows(spec, 11, ENDPOINTS)
+    assert len({f.dst for f in flows}) == 1
+
+
+def test_hotspot_skews_toward_hot_endpoint():
+    spec = TrafficSpec(pattern="hotspot", flows=400, hotspot_fraction=0.7)
+    flows = generate_flows(spec, 13, ENDPOINTS)
+    by_dst = {}
+    for f in flows:
+        by_dst[f.dst] = by_dst.get(f.dst, 0) + 1
+    hot = max(by_dst.values())
+    assert hot >= 0.55 * len(flows)     # ~0.7 plus uniform spillover
+
+
+def test_size_jitter_bounds():
+    spec = TrafficSpec(pattern="uniform", flows=200, size=10_000,
+                       size_jitter=0.5)
+    for f in generate_flows(spec, 17, ENDPOINTS):
+        assert 5_000 <= f.nbytes <= 15_000
+
+
+def test_too_few_endpoints_rejected():
+    spec = TrafficSpec(flows=4)
+    with pytest.raises(ValueError, match="endpoints"):
+        generate_flows(spec, 0, ["only"])
