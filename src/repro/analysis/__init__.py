@@ -3,7 +3,7 @@
 from .ascii_plot import plot_series
 from .model import (MultirailPrediction, PipelinePrediction,
                     fragment_time, predict_forwarding,
-                    predict_multirail)
+                    predict_multirail, route_setup_time)
 from .export import (metrics_to_rows, spans_to_chrome, to_chrome_trace,
                      write_chrome_trace, write_metrics_csv,
                      write_metrics_json, write_spans_chrome)
@@ -17,7 +17,7 @@ from .pipeline import (PipelineStats, StepTimeline, extract_timeline,
 __all__ = [
     "plot_series", "BusMonitor",
     "MultirailPrediction", "PipelinePrediction", "fragment_time",
-    "predict_forwarding", "predict_multirail",
+    "predict_forwarding", "predict_multirail", "route_setup_time",
     "to_chrome_trace", "write_chrome_trace",
     "metrics_to_rows", "spans_to_chrome", "write_metrics_csv",
     "write_metrics_json", "write_spans_chrome",

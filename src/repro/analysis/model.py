@@ -23,8 +23,8 @@ from ..hw.params import (GatewayParams, NodeParams, PipelineConfig,
                          ProtocolParams)
 from ..sim.fluid import DMA, PIO
 
-__all__ = ["fragment_time", "PipelinePrediction", "predict_forwarding",
-           "MultirailPrediction", "predict_multirail"]
+__all__ = ["fragment_time", "route_setup_time", "PipelinePrediction",
+           "predict_forwarding", "MultirailPrediction", "predict_multirail"]
 
 
 def fragment_time(proto: ProtocolParams, nbytes: int,
@@ -34,6 +34,33 @@ def fragment_time(proto: ProtocolParams, nbytes: int,
     rate = proto.host_peak if rate is None else rate
     return (proto.tx_overhead + proto.latency
             + (nbytes + FRAGMENT_HEADER_BYTES) / rate)
+
+
+def route_setup_time(protos: "list[ProtocolParams] | tuple[ProtocolParams, ...]",
+                     period: float,
+                     gateway: GatewayParams | None = None,
+                     rails: int = 1) -> float:
+    """Finite-message setup of a transfer whose route crosses ``protos``
+    (one entry per hop, in order), before steady-state streaming.
+
+    The pre-body announce — and, when striping (``rails > 1``), the 16-byte
+    stripe record — serializes ahead of the first data fragment on *every*
+    hop, each gateway relay adds its buffer-switch overhead, and the data
+    pipeline then fills for one steady ``period`` per hop before the first
+    fragment reaches the far cloud.  On the single-gateway (2-hop) testbed
+    this is the classic announce + stripe + ``2 × period`` term; on the
+    multi-gateway hierarchy/torus routes the solver sweeps, the per-hop
+    record latencies and switch overheads accumulate along the whole route
+    instead of being charged on the in-protocol only.
+    """
+    from ..madeleine.wire import ANNOUNCE_BYTES, STRIPE_BYTES
+    gateway = gateway or GatewayParams()
+    setup = sum(fragment_time(p, ANNOUNCE_BYTES) for p in protos)
+    if rails > 1:
+        setup += sum(fragment_time(p, STRIPE_BYTES) for p in protos)
+    setup += (len(protos) - 1) * gateway.switch_overhead
+    setup += len(protos) * period
+    return setup
 
 
 @dataclass(frozen=True)
@@ -167,10 +194,8 @@ def predict_multirail(in_proto: ProtocolParams, out_proto: ProtocolParams,
     aggregate = rails * rail_bw
     single = predict_forwarding(in_proto, out_proto, packet,
                                 gateway, node, pipeline).bandwidth
-    from ..madeleine.wire import ANNOUNCE_BYTES, STRIPE_BYTES
-    setup = (fragment_time(in_proto, ANNOUNCE_BYTES)
-             + (fragment_time(in_proto, STRIPE_BYTES) if rails > 1 else 0.0)
-             + 2 * period)
+    setup = route_setup_time((in_proto, out_proto), period,
+                             gateway=gateway, rails=rails)
     bandwidth = message / (message / aggregate + setup)
     return MultirailPrediction(rails=rails, period_us=period,
                                rail_bandwidth=rail_bw, aggregate=aggregate,

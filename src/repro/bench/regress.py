@@ -32,12 +32,14 @@ Refresh the baseline after an intentional change with
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 import zlib
 from typing import Optional
 
 import numpy as np
 
+from .jsonio import dump_json
 from .ping import PingHarness
 from .sweep import figure_sweep
 
@@ -397,8 +399,23 @@ def compare_to_baseline(current: dict, baseline: dict,
             continue   # e.g. a --quick run skipped the sweeps
         for metric, base in metrics.items():
             cur = current[name].get(metric)
+            # Non-finite metrics serialize as null (see bench.jsonio);
+            # neither side of a comparison may be null/NaN — that means a
+            # scenario produced no measurable value, which is itself a
+            # failure, never a silent pass.
+            if base is None or (isinstance(base, float)
+                                and not math.isfinite(base)):
+                failures.append(
+                    f"{name}.{metric}: committed baseline value is "
+                    f"{base!r}; re-measure and update the baseline")
+                continue
             if cur is None:
                 failures.append(f"{name}.{metric}: missing from this run")
+                continue
+            if isinstance(cur, float) and not math.isfinite(cur):
+                failures.append(
+                    f"{name}.{metric}: non-finite ({cur!r}) — the scenario "
+                    f"produced no measurable value")
                 continue
             band = tol * max(abs(base), 1e-9)
             if abs(cur - base) > band:
@@ -504,8 +521,7 @@ def write_results(current: dict, baseline: dict, failures: list[str],
             "failures": failures,
         },
     }
-    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
-                    encoding="utf-8")
+    dump_json(payload, path)
 
 
 def write_baseline(current: dict, path: pathlib.Path,
@@ -526,5 +542,4 @@ def write_baseline(current: dict, path: pathlib.Path,
         "scenarios": {**existing.get("scenarios", {}), **current},
     }
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
-                    encoding="utf-8")
+    dump_json(payload, path)

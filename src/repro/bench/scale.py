@@ -21,7 +21,7 @@ from ..madeleine import reset_global_ids
 from ..scenario import Scenario, Topology, TrafficSpec
 
 __all__ = ["DEFAULT_GRID", "sweep_nodes", "run_traffic_scenario",
-           "format_sweep", "scaling_scenario"]
+           "solve_traffic_scenario", "format_sweep", "scaling_scenario"]
 
 #: (kind, shape, flows) cells; shape is ``dims`` for torus.
 DEFAULT_GRID: tuple = (
@@ -76,13 +76,26 @@ def run_traffic_scenario(scenario: Scenario) -> dict:
     return row
 
 
+def solve_traffic_scenario(scenario: Scenario) -> dict:
+    """The solver fast path of :func:`run_traffic_scenario`: the same
+    summary row, estimated by the fluid fixed-point solver instead of the
+    DES (no gateway-queue telemetry — the fluid model has no queues)."""
+    from ..solver import solve
+    return solve(scenario).summary()
+
+
 def sweep_nodes(grid: Sequence = DEFAULT_GRID, *,
                 pattern: str = "uniform", size: int = 32 << 10,
                 mean_interarrival: float = 50.0,
                 scheduler: str = "calendar", seed: int = _SWEEP_SEED,
-                progress=None) -> list[dict]:
+                progress=None, mode: str = "des") -> list[dict]:
     """Run the node-scaling grid; one summary row per ``(kind, shape,
-    flows)`` cell."""
+    flows)`` cell.  ``mode="solver"`` estimates every cell with the
+    analytic solver instead of running the DES — the fast path for
+    exploring grids far beyond what simulation wall-clock allows (flow-level
+    accuracy bounds in docs/solver.md)."""
+    if mode not in ("des", "solver"):
+        raise ValueError(f"unknown sweep mode {mode!r}")
     rows = []
     for kind, shape, flows in grid:
         topo = _topology(kind, shape)
@@ -92,7 +105,8 @@ def sweep_nodes(grid: Sequence = DEFAULT_GRID, *,
         sc = _cell_scenario(topo, flows, pattern=pattern, size=size,
                             mean_interarrival=mean_interarrival,
                             scheduler=scheduler, seed=seed)
-        row = run_traffic_scenario(sc)
+        row = (solve_traffic_scenario(sc) if mode == "solver"
+               else run_traffic_scenario(sc))
         row.update({"kind": kind, "shape": list(shape), "flows": flows,
                     "nodes": topo.n_nodes})
         rows.append(row)
@@ -106,12 +120,14 @@ def format_sweep(rows: list[dict]) -> str:
     lines = [head, "-" * len(head)]
     for r in rows:
         shape = "x".join(str(d) for d in r["shape"])
+        gwq = r.get("gw_queue_hwm")
         lines.append(
             f"{r['kind'] + '(' + shape + ')':16s} {r['nodes']:5d} "
             f"{r['flows']:5d} {r['completed']:5d} "
             f"{r['p50_fct_us']:7.0f}us {r['p99_fct_us']:7.0f}us "
-            f"{r['goodput_mbs']:6.1f}MBs {r['gw_queue_hwm']:4d} "
-            f"{r['events_per_mb']:8.0f}")
+            f"{r['goodput_mbs']:6.1f}MBs "
+            + (f"{gwq:4d} " if gwq is not None else f"{'-':>4s} ")
+            + f"{r['events_per_mb']:8.0f}")
     return "\n".join(lines)
 
 
@@ -131,6 +147,14 @@ def scaling_scenario() -> dict:
                             mean_interarrival=200.0, scheduler="calendar",
                             seed=11)
         row = run_traffic_scenario(sc)
+        if row["completed"] < flows:
+            # A partial run's FCT/event statistics describe only the flows
+            # that happened to finish — comparing them against the baseline
+            # would be meaningless, so refuse loudly instead.
+            raise RuntimeError(
+                f"scaling cell torus(4,4) x {flows} flows: only "
+                f"{row['completed']}/{flows} flows completed; refusing to "
+                f"report partial FCT statistics")
         out[f"events_per_mb_{flows}f"] = row["events_per_mb"]
         out[f"p99_fct_us_{flows}f"] = row["p99_fct_us"]
         out[f"completed_{flows}f"] = float(row["completed"])

@@ -10,6 +10,8 @@ Examples::
     python -m repro stats --direction sci-to-myri --size 4M
     python -m repro trace --size 1M --out trace.json
     python -m repro bench --regress
+    python -m repro solve --scenario scenario.yaml
+    python -m repro solve --validate
 """
 
 from __future__ import annotations
@@ -206,10 +208,10 @@ def cmd_stats(args) -> int:
 
 
 def _sweep_pipeline(args) -> int:
-    import json
     import pathlib
 
     from .bench import pipeline_sweep
+    from .bench.jsonio import dump_json
 
     map_fn = None
     pool = None
@@ -243,18 +245,16 @@ def _sweep_pipeline(args) -> int:
           "picked for that depth (see docs/performance.md)")
     if args.sweep_out:
         path = pathlib.Path(args.sweep_out)
-        path.write_text(json.dumps({"suite": "sweep-pipeline", **result},
-                                   indent=1, sort_keys=True) + "\n",
-                        encoding="utf-8")
+        dump_json({"suite": "sweep-pipeline", **result}, path)
         print(f"\nwrote {path}")
     return 0
 
 
 def _sweep_rails(args) -> int:
-    import json
     import pathlib
 
     from .bench import rails_sweep
+    from .bench.jsonio import dump_json
 
     map_fn = None
     pool = None
@@ -263,16 +263,17 @@ def _sweep_rails(args) -> int:
         pool = mp.Pool(args.jobs)
         map_fn = pool.imap
     try:
-        result = rails_sweep(map_fn=map_fn)
+        result = rails_sweep(map_fn=map_fn, mode=args.mode)
     finally:
         if pool is not None:
             pool.close()
             pool.join()
     pkt_keys = sorted({k for row in result["grid"].values() for k in row},
                       key=lambda k: int(k[:-1]))
+    measured = ("solved" if result["mode"] == "solver" else "measured")
     print(f"striped bandwidth (MB/s), a0->b0, "
           f"{result['message'] >> 20} MB message, "
-          f"measured | model per cell:\n")
+          f"{measured} | model per cell:\n")
     header = f"{'rails':>8s}" + "".join(f"{k:>16s}" for k in pkt_keys) \
         + f"{'mean gain':>12s}"
     print(header)
@@ -288,37 +289,41 @@ def _sweep_rails(args) -> int:
           "saturate (see docs/performance.md)")
     if args.sweep_out:
         path = pathlib.Path(args.sweep_out)
-        path.write_text(json.dumps({"suite": "sweep-rails", **result},
-                                   indent=1, sort_keys=True) + "\n",
-                        encoding="utf-8")
+        dump_json({"suite": "sweep-rails", **result}, path)
         print(f"\nwrote {path}")
     return 0
 
 
 def _sweep_nodes(args) -> int:
-    import json
     import pathlib
 
+    from .bench.jsonio import dump_json
     from .bench.scale import format_sweep, sweep_nodes
 
-    rows = sweep_nodes(progress=lambda msg: print(f"  running {msg} ...",
+    rows = sweep_nodes(mode=args.mode,
+                       progress=lambda msg: print(f"  running {msg} ...",
                                                   flush=True))
     print()
     print(format_sweep(rows))
-    print("\nopen-loop Poisson traffic on generated tori (calendar "
-          "scheduler); 'gwq' is the gateway queue high-water mark and "
-          "'ev/MB' the kernel cost per transferred MB (see docs/scaling.md)")
+    if args.mode == "solver":
+        print("\nanalytic solver estimates (no simulation; 'ev/MB' counts "
+              "fixed-point recomputations) — accuracy bounds in "
+              "docs/solver.md")
+    else:
+        print("\nopen-loop Poisson traffic on generated tori (calendar "
+              "scheduler); 'gwq' is the gateway queue high-water mark and "
+              "'ev/MB' the kernel cost per transferred MB "
+              "(see docs/scaling.md)")
     if args.sweep_out:
         path = pathlib.Path(args.sweep_out)
-        path.write_text(json.dumps({"suite": "sweep-nodes", "rows": rows},
-                                   indent=1, sort_keys=True) + "\n",
-                        encoding="utf-8")
+        dump_json({"suite": "sweep-nodes", "mode": args.mode, "rows": rows},
+                  path)
         print(f"\nwrote {path}")
     return 0
 
 
 def _bench_scenario(args) -> int:
-    from .bench.scale import run_traffic_scenario
+    from .bench.scale import run_traffic_scenario, solve_traffic_scenario
     from .scenario import load_scenario
 
     scenario = load_scenario(args.scenario)
@@ -328,10 +333,13 @@ def _bench_scenario(args) -> int:
               f"'repro fuzz --replay {args.scenario}'", file=sys.stderr)
         return 2
     print(f"scenario {args.scenario}: {scenario.describe()}")
-    row = run_traffic_scenario(scenario)
+    row = (solve_traffic_scenario(scenario) if args.mode == "solver"
+           else run_traffic_scenario(scenario))
     for key in ("flows", "completed", "peak_active", "p50_fct_us",
                 "p99_fct_us", "mean_fct_us", "duration_us", "goodput_mbs",
                 "gw_queue_hwm", "events", "events_per_mb"):
+        if key not in row:
+            continue
         value = row[key]
         text = f"{value:.1f}" if isinstance(value, float) else str(value)
         print(f"  {key:16s} {text}")
@@ -373,8 +381,8 @@ def cmd_bench(args) -> int:
         print(f"no baseline at {baseline_path}; create one with "
               f"--update-baseline", file=sys.stderr)
         return 2
-    import json
-    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    from .bench.jsonio import load_json
+    baseline = load_json(baseline_path)
     failures = rg.compare_to_baseline(current, baseline,
                                       tolerance=args.tolerance)
     print()
@@ -382,6 +390,79 @@ def cmd_bench(args) -> int:
     rg.write_results(current, baseline, failures, out_path)
     print(f"\nwrote {out_path}")
     return 1 if failures else 0
+
+
+def cmd_solve(args) -> int:
+    import pathlib
+
+    from .bench.jsonio import dump_json, load_json
+
+    if args.validate:
+        from .solver import validate as sv
+        result = sv.run_validate(
+            progress=lambda n: print(f"  running {n} ...", flush=True))
+        baseline_path = pathlib.Path(args.baseline)
+        if args.update_baseline:
+            sv.write_validate_baseline(result, baseline_path)
+            print(f"wrote baseline {baseline_path}")
+        if not baseline_path.exists():
+            print(f"no baseline at {baseline_path}; create one with "
+                  f"--update-baseline", file=sys.stderr)
+            return 2
+        failures = sv.compare_validate(result, load_json(baseline_path))
+        print()
+        print(sv.format_validate(result, failures))
+        if args.out:
+            dump_json({**result,
+                       "comparison": {
+                           "status": "fail" if failures else "pass",
+                           "failures": failures,
+                       }}, args.out)
+            print(f"\nwrote {args.out}")
+        return 1 if failures else 0
+
+    if not args.scenario:
+        print("nothing to do: pass --scenario FILE or --validate",
+              file=sys.stderr)
+        return 2
+
+    from .scenario import load_scenario
+    from .solver import solve
+
+    scenario = load_scenario(args.scenario)
+    print(f"scenario {args.scenario}: {scenario.describe()}")
+    result = solve(scenario)
+    print(f"\n{'flow':>6s} {'route':24s} {'bytes':>10s} {'arrival':>10s} "
+          f"{'FCT':>10s} {'MB/s':>8s}")
+    for f in result.flows:
+        print(f"{f.index:6d} {f.src + ' -> ' + f.dst:24s} {f.nbytes:10d} "
+              f"{f.arrival:9.1f}u {f.fct_us:9.1f}u {f.bandwidth:8.2f}")
+    summary = result.summary()
+    print()
+    for key in ("flows", "peak_active", "p50_fct_us", "p99_fct_us",
+                "mean_fct_us", "duration_us", "goodput_mbs", "events"):
+        value = summary[key]
+        text = f"{value:.1f}" if isinstance(value, float) else str(value)
+        print(f"  {key:16s} {text}")
+    links = sorted(result.link_utilization().items(),
+                   key=lambda kv: -kv[1])[:8]
+    if links:
+        print("\n  busiest links (mean utilization over the run):")
+        for name, u in links:
+            print(f"    {name:12s} {u:7.1%}")
+    if args.out:
+        dump_json({
+            "suite": "solve",
+            "scenario": scenario.describe(),
+            "summary": summary,
+            "flows": [{"index": f.index, "src": f.src, "dst": f.dst,
+                       "nbytes": f.nbytes, "arrival_us": f.arrival,
+                       "fct_us": f.fct_us, "bandwidth_mbs": f.bandwidth,
+                       "rails": f.rails} for f in result.flows],
+            "link_utilization": result.link_utilization(),
+        }, args.out)
+        print(f"\nwrote {args.out}")
+    return 0
 
 
 def cmd_fuzz(args) -> int:
@@ -434,6 +515,11 @@ def cmd_trace(args) -> int:
 def _regress_default(which: str):
     from .bench import regress as rg
     return rg.DEFAULT_BASELINE if which == "baseline" else rg.DEFAULT_OUT
+
+
+def _solve_default_baseline():
+    from .solver.validate import DEFAULT_VALIDATE_BASELINE
+    return DEFAULT_VALIDATE_BASELINE
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -520,7 +606,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenario", metavar="FILE",
                    help="run one declarative traffic scenario "
                         "(YAML or JSON, see docs/scaling.md)")
+    p.add_argument("--mode", choices=["des", "solver"], default="des",
+                   help="with --sweep-rails/--sweep-nodes/--scenario: "
+                        "'solver' estimates cells with the analytic "
+                        "fixed-point solver instead of simulating "
+                        "(docs/solver.md)")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "solve",
+        help="analytic fast-path solver: flow rates/FCTs without the DES")
+    p.add_argument("--scenario", metavar="FILE",
+                   help="solve one declarative scenario (YAML or JSON)")
+    p.add_argument("--validate", action="store_true",
+                   help="cross-check solver vs DES on the sampled "
+                        "fig5-fig8, multirail, and traffic cells")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="with --validate: commit this run's max errors as "
+                        "the new regression floor")
+    p.add_argument("--baseline",
+                   default=str(_solve_default_baseline()),
+                   help="validation baseline JSON path")
+    p.add_argument("--out", default="",
+                   help="also write the result as JSON to this path")
+    p.set_defaults(fn=cmd_solve)
 
     p = sub.add_parser(
         "fuzz",

@@ -1,0 +1,264 @@
+"""The fluid fixed-point solver: per-flow rates and FCTs without the DES.
+
+The paper already argues (§3.3.1) that the gateway pipeline's steady period
+predicts forwarding bandwidth analytically; this module generalizes that
+argument from one flow on one gateway to a whole scenario.  Each flow is a
+*fluid* — a rate, not a fragment schedule — whose per-route ceiling comes
+from the same ``_rail_period``/``fragment_time`` kernel the closed-form
+predictions use, and whose share of every contended resource (end-host PCI
+buses, gateway buses, NICs, wire segments) is settled by **max-min fair
+allocation**: progressive filling raises all rates together, freezing a
+flow when it hits its pipeline ceiling or when one of its resources
+saturates, until every flow is frozen — the fixed point.
+
+Flow completion times come from an event loop over the fluid system: the
+allocation is recomputed at every flow arrival and completion (the only
+instants it can change), rates are integrated in between, and each
+application flow finishes when its last rail drains.  A scenario with one
+flow on the 3-node testbed collapses to exactly
+:func:`~repro.analysis.model.predict_forwarding`; a single striped flow on
+the multirail topology collapses to
+:func:`~repro.analysis.model.predict_multirail`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..scenario import Scenario
+from .network import RoutedFlow, SolverNetwork
+
+__all__ = ["FlowEstimate", "SolverResult", "max_min_rates", "solve",
+           "solve_bandwidth"]
+
+_REL_EPS = 1e-9
+
+
+def max_min_rates(flows: Sequence[RoutedFlow],
+                  capacities: dict) -> dict:
+    """Max-min fair rates (bytes/µs) for ``flows`` over ``capacities``.
+
+    Progressive filling: every unfrozen flow's rate rises at the same pace;
+    a flow freezes when it reaches its own ``ceiling`` (the §3.3.1 pipeline
+    limit of its route) or when any resource in its footprint saturates.
+    Each round freezes at least one flow, so the fixed point lands in at
+    most ``len(flows)`` rounds.  A flow's ``footprint`` weights count how
+    many times it crosses a resource (a gateway's PCI bus carries each
+    forwarded byte twice), so ``rate × weight`` is what a flow consumes.
+    """
+    rate = {f.id: 0.0 for f in flows}
+    used = {key: 0.0 for key in capacities}
+    active = list(flows)
+    while active:
+        load: dict = {}
+        for f in active:
+            for key, w in f.footprint:
+                load[key] = load.get(key, 0.0) + w
+        inc = min(f.ceiling - rate[f.id] for f in active)
+        for key, demand in load.items():
+            inc = min(inc, (capacities[key] - used[key]) / demand)
+        inc = max(inc, 0.0)
+        for f in active:
+            rate[f.id] += inc
+            for key, w in f.footprint:
+                used[key] += w * inc
+        saturated = {
+            key for key in load
+            if capacities[key] - used[key] <= _REL_EPS * max(1.0,
+                                                             capacities[key])
+        }
+        rest = [f for f in active
+                if rate[f.id] < f.ceiling - _REL_EPS * max(1.0, f.ceiling)
+                and not any(key in saturated for key, _w in f.footprint)]
+        if len(rest) == len(active):   # numerical stall: nothing froze
+            break                      # pragma: no cover
+        active = rest
+    return rate
+
+
+@dataclass(frozen=True)
+class FlowEstimate:
+    """Solver estimate for one application flow (all its rails together)."""
+
+    index: int
+    src: str
+    dst: str
+    nbytes: int
+    arrival: float        # open-loop arrival, µs
+    setup_us: float       # route-aware pre-streaming setup (slowest rail)
+    finish_us: float      # last rail drained
+    rails: int
+
+    @property
+    def fct_us(self) -> float:
+        """Flow completion time, µs."""
+        return self.finish_us - self.arrival
+
+    @property
+    def bandwidth(self) -> float:
+        """Delivered MB/s (== bytes/µs) over the flow's lifetime."""
+        return self.nbytes / self.fct_us
+
+
+@dataclass
+class SolverResult:
+    """Per-flow estimates plus per-resource utilization for one scenario."""
+
+    scenario: Scenario
+    flows: list[FlowEstimate]
+    #: resource key -> mean utilization over the run (allocated ÷ capacity).
+    utilization: dict
+    duration_us: float
+    #: fixed-point recomputations (one per arrival/completion epoch).
+    recomputes: int
+
+    def link_utilization(self) -> dict[str, float]:
+        """Wire-segment utilization only, keyed by channel id."""
+        return {key[1]: u for key, u in self.utilization.items()
+                if key[0] == "link"}
+
+    def summary(self) -> dict:
+        """Flow-level statistics in the traffic engine's summary shape, so
+        sweep tables and regress comparisons can consume either engine."""
+        fcts = np.array([f.fct_us for f in self.flows])
+        total_bytes = sum(f.nbytes for f in self.flows)
+        peak = 0
+        live = 0
+        marks = sorted([(f.arrival, 1) for f in self.flows]
+                       + [(f.finish_us, -1) for f in self.flows],
+                       key=lambda m: (m[0], -m[1]))
+        for _t, d in marks:
+            live += d
+            peak = max(peak, live)
+        mb = total_bytes / 1e6
+        return {
+            "mode": "solver",
+            "flows": len(self.flows),
+            "completed": len(self.flows),
+            "peak_active": peak,
+            "p50_fct_us": float(np.percentile(fcts, 50)),
+            "p99_fct_us": float(np.percentile(fcts, 99)),
+            "mean_fct_us": float(fcts.mean()),
+            "max_fct_us": float(fcts.max()),
+            "duration_us": self.duration_us,
+            "bytes": total_bytes,
+            "goodput_mbs": (total_bytes / self.duration_us
+                            if self.duration_us else 0.0),
+            "events": self.recomputes,
+            "events_per_mb": (self.recomputes / mb) if mb else float("nan"),
+        }
+
+
+def _application_flows(scenario: Scenario) -> list[tuple]:
+    """(index, src, dst, nbytes, arrival) for every flow the scenario
+    offers: the explicit message list at t=0, then the generated traffic —
+    expanded by the *same* :func:`~repro.traffic.flows.generate_flows` the
+    DES engine uses, so both see identical arrivals."""
+    out = [(i, m.src, m.dst, m.nbytes, 0.0)
+           for i, m in enumerate(scenario.messages)]
+    if scenario.traffic is not None:
+        from ..traffic.flows import generate_flows
+        base = len(out)
+        names = scenario.topology.endpoint_names()
+        for f in generate_flows(scenario.traffic, scenario.seed, names):
+            out.append((base + f.index, f.src, f.dst, f.nbytes, f.arrival))
+    if not out:
+        raise ValueError("scenario has no traffic to solve")
+    return out
+
+
+def solve(scenario: Scenario, node_params=None,
+          gateway_params=None) -> SolverResult:
+    """Solve ``scenario`` analytically: route every flow with the DES's own
+    route table, allocate max-min fair rates at every arrival/completion
+    epoch, and integrate the fluid rates into per-flow finish times and
+    per-resource utilization."""
+    net = SolverNetwork(scenario, node_params=node_params,
+                        gateway_params=gateway_params)
+    caps = {key: r.capacity for key, r in net.resources.items()}
+    apps = _application_flows(scenario)
+    rails: list[RoutedFlow] = []
+    meta = {}           # app index -> (src, dst, nbytes, arrival, setup, k)
+    for index, src, dst, nbytes, arrival in apps:
+        expanded = net.routed_flows(index, src, dst, nbytes, arrival=arrival)
+        rails.extend(expanded)
+        meta[index] = (src, dst, nbytes, arrival,
+                       max(r.setup_us for r in expanded), len(expanded))
+
+    # Streaming starts once the route's setup (announce, stripe record,
+    # switch overheads, pipeline fill) has played out.
+    pending = sorted(rails, key=lambda r: (r.arrival + r.setup_us, r.id))
+    active: dict = {}                     # rail id -> [RoutedFlow, remaining]
+    finish: dict = {}                     # rail id -> finish time
+    util = {key: 0.0 for key in caps}     # integral of allocated rate, bytes
+    now = 0.0
+    recomputes = 0
+    while pending or active:
+        if not active:
+            now = max(now, pending[0].arrival + pending[0].setup_us)
+        else:
+            rates = max_min_rates([f for f, _rem in active.values()], caps)
+            recomputes += 1
+            dt_done = math.inf
+            for rid, (_f, rem) in active.items():
+                r = rates[rid]
+                if r <= 0.0:
+                    raise RuntimeError(
+                        f"fluid flow {rid} starved (rate 0); resource "
+                        f"capacities leave it no share")
+                dt_done = min(dt_done, rem / r)
+            horizon = now + dt_done
+            if pending:
+                horizon = min(horizon,
+                              pending[0].arrival + pending[0].setup_us)
+            dt = horizon - now
+            for rid, entry in active.items():
+                f, rem = entry
+                entry[1] = rem - rates[rid] * dt
+                for key, w in f.footprint:
+                    util[key] += rates[rid] * w * dt
+            now = horizon
+            done = [rid for rid, (_f, rem) in active.items()
+                    if rem <= 1e-6]       # sub-µbyte residue == drained
+            for rid in done:
+                finish[rid] = now
+                del active[rid]
+        while pending and pending[0].arrival + pending[0].setup_us \
+                <= now + _REL_EPS:
+            f = pending.pop(0)
+            if f.nbytes <= 0:      # a rail the stripe split left empty
+                finish[f.id] = now
+            else:
+                active[f.id] = [f, float(f.nbytes)]
+
+    duration = max(finish.values()) if finish else 0.0
+    estimates = []
+    for index in sorted(meta):
+        src, dst, nbytes, arrival, setup, k = meta[index]
+        fin = max(finish[(index, r)] for r in range(k))
+        estimates.append(FlowEstimate(index=index, src=src, dst=dst,
+                                      nbytes=nbytes, arrival=arrival,
+                                      setup_us=setup, finish_us=fin,
+                                      rails=k))
+    utilization = {key: (util[key] / (caps[key] * duration)
+                         if duration else 0.0) for key in caps}
+    return SolverResult(scenario=scenario, flows=estimates,
+                        utilization=utilization, duration_us=duration,
+                        recomputes=recomputes)
+
+
+def solve_bandwidth(scenario: Scenario, node_params=None,
+                    gateway_params=None) -> float:
+    """Single-message convenience: the solved bandwidth (MB/s) of a
+    scenario's one transfer — the solver-side analogue of
+    :meth:`PingHarness.measure(...).bandwidth`."""
+    result = solve(scenario, node_params=node_params,
+                   gateway_params=gateway_params)
+    if len(result.flows) != 1:
+        raise ValueError(f"expected a single-transfer scenario, got "
+                         f"{len(result.flows)} flows")
+    return result.flows[0].bandwidth

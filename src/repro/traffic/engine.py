@@ -191,9 +191,19 @@ class TrafficEngine:
                         name=f"traffic-flow:{f.index}")
 
     def summary(self) -> dict:
-        """Flow-level statistics after the run (times in µs)."""
-        fcts = np.array([r.fct for r in self.records]) if self.records \
-            else np.array([0.0])
+        """Flow-level statistics after the run (times in µs).
+
+        FCT statistics exist only for flows that actually completed: a run
+        with zero completions reports them as NaN (there is no honest
+        number — certainly not 0), and ``events_per_mb`` is NaN when no
+        bytes were delivered.  Consumers that need hard numbers must check
+        ``completed`` (the regress scaling cell refuses partial runs), and
+        anything serializing a summary must route it through
+        :func:`repro.bench.jsonio.json_safe` — ``json.dumps`` would other-
+        wise emit bare ``NaN``/``Infinity``, which is not JSON.
+        """
+        nan = float("nan")
+        fcts = np.array([r.fct for r in self.records])
         total_bytes = sum(r.flow.nbytes for r in self.records)
         duration = self.session.now
         events = self.session.sim.events_processed
@@ -202,15 +212,15 @@ class TrafficEngine:
             "flows": len(self.flows),
             "completed": len(self.records),
             "peak_active": self.peak_active,
-            "p50_fct_us": float(np.percentile(fcts, 50)),
-            "p99_fct_us": float(np.percentile(fcts, 99)),
-            "mean_fct_us": float(fcts.mean()),
-            "max_fct_us": float(fcts.max()),
+            "p50_fct_us": float(np.percentile(fcts, 50)) if len(fcts) else nan,
+            "p99_fct_us": float(np.percentile(fcts, 99)) if len(fcts) else nan,
+            "mean_fct_us": float(fcts.mean()) if len(fcts) else nan,
+            "max_fct_us": float(fcts.max()) if len(fcts) else nan,
             "duration_us": duration,
             "bytes": total_bytes,
             "goodput_mbs": (total_bytes / duration) if duration else 0.0,
             "events": events,
-            "events_per_mb": (events / mb) if mb else float("inf"),
+            "events_per_mb": (events / mb) if mb else nan,
         }
 
 

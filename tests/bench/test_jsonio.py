@@ -1,0 +1,63 @@
+"""Strict-JSON serialization of benchmark artifacts."""
+
+import json
+import math
+
+import pytest
+
+from repro.bench.jsonio import dump_json, json_safe, load_json
+
+
+def test_non_finite_floats_become_null():
+    src = {"a": float("nan"), "b": float("inf"), "c": float("-inf"),
+           "d": 1.5, "e": 7, "f": "nan"}
+    out = json_safe(src)
+    assert out == {"a": None, "b": None, "c": None,
+                   "d": 1.5, "e": 7, "f": "nan"}
+
+
+def test_nested_containers_sanitized_recursively():
+    src = {"rows": [{"x": float("nan")}, {"x": 2.0}],
+           "grid": (float("inf"), 3.0)}
+    out = json_safe(src)
+    assert out == {"rows": [{"x": None}, {"x": 2.0}], "grid": [None, 3.0]}
+
+
+def test_dump_json_round_trips_strictly(tmp_path):
+    path = tmp_path / "out.json"
+    dump_json({"events_per_mb": float("nan"), "goodput": 42.0}, path)
+    text = path.read_text()
+    assert "NaN" not in text and "Infinity" not in text
+    assert json.loads(text) == {"events_per_mb": None, "goodput": 42.0}
+
+
+def test_load_json_rejects_legacy_bare_constants(tmp_path):
+    path = tmp_path / "legacy.json"
+    path.write_text('{"events_per_mb": Infinity}')
+    with pytest.raises(ValueError, match="not valid JSON"):
+        load_json(path)
+    path.write_text('{"x": NaN}')
+    with pytest.raises(ValueError, match="regenerate"):
+        load_json(path)
+
+
+def test_load_json_reads_sanitized_output(tmp_path):
+    path = tmp_path / "ok.json"
+    dump_json({"x": float("inf"), "y": [1, 2]}, path)
+    assert load_json(path) == {"x": None, "y": [1, 2]}
+
+
+def test_traffic_summary_serializes_strictly_even_with_no_completions():
+    """The original bug: a zero-completion summary carried ``inf`` that
+    json.dumps happily wrote as bare ``Infinity``."""
+    summary = {"completed": 0, "p99_fct_us": float("nan"),
+               "events_per_mb": float("nan")}
+    text = json.dumps(json_safe(summary), allow_nan=False)
+    assert json.loads(text)["events_per_mb"] is None
+
+
+def test_summary_stats_are_finite_exactly_when_flows_completed():
+    # json_safe must not mask finite values
+    assert json_safe(3.14) == 3.14
+    assert json_safe(0.0) == 0.0
+    assert not math.isfinite(float("nan"))

@@ -96,6 +96,41 @@ def test_quick_run_matches_committed_baseline(tmp_path):
     assert payload["kernel"]["event_reduction"] >= 0.20
 
 
+def test_non_finite_current_metric_fails_explicitly(baseline):
+    current = {"fig5": {"elapsed_us": float("nan"), "events_per_mb": 400.0},
+               "fig6": {"asymptote_64k_mbs": 50.0}}
+    failures = rg.compare_to_baseline(current, baseline)
+    assert any("fig5.elapsed_us" in f and "non-finite" in f
+               for f in failures)
+
+
+def test_null_current_metric_fails_explicitly(baseline):
+    # json_safe writes NaN as null; a null metric read back must fail,
+    # not silently compare equal or crash.
+    current = {"fig5": {"elapsed_us": None, "events_per_mb": 400.0},
+               "fig6": {"asymptote_64k_mbs": 50.0}}
+    failures = rg.compare_to_baseline(current, baseline)
+    assert any("fig5.elapsed_us" in f and "missing" in f for f in failures)
+
+
+def test_null_baseline_metric_fails_explicitly(baseline):
+    baseline["scenarios"]["fig5"]["elapsed_us"] = None
+    current = {"fig5": {"elapsed_us": 1000.0, "events_per_mb": 400.0},
+               "fig6": {"asymptote_64k_mbs": 50.0}}
+    failures = rg.compare_to_baseline(current, baseline)
+    assert any("baseline" in f and "re-measure" in f for f in failures)
+
+
+def test_write_results_is_strict_json(tmp_path, baseline):
+    current = {"fig5": {"elapsed_us": float("inf"),
+                        "events_per_mb": 400.0}}
+    out = tmp_path / "bench.json"
+    rg.write_results(current, baseline, [], out)
+    text = out.read_text()
+    assert "Infinity" not in text
+    assert json.loads(text)["scenarios"]["fig5"]["elapsed_us"] is None
+
+
 # -- feature floors -----------------------------------------------------------
 
 def test_pipeline_gain_floor_enforced(baseline):

@@ -1,0 +1,107 @@
+"""The solver-vs-DES validation harness: comparator logic and a live
+strict-family spot check."""
+
+import json
+
+import pytest
+
+from repro.solver import validate as sv
+
+
+@pytest.fixture
+def baseline():
+    return {
+        "strict_limit": 0.05,
+        "slack": 0.005,
+        "min_speedup": 100.0,
+        "families": {
+            "fig6": {"max_rel_err": 0.032, "strict": True},
+            "traffic": {"max_rel_err": 0.75, "strict": False},
+        },
+    }
+
+
+def _result(fig6=0.03, traffic=0.5, speedup=150.0):
+    def fam(err, strict):
+        return {"strict": strict, "max_rel_err": err,
+                "cells": [{"name": "c", "des": 1.0, "solver": 1.0 + err,
+                           "rel_err": err}]}
+    return {"families": {"fig6": fam(fig6, True),
+                         "traffic": fam(traffic, False)},
+            "max_strict_rel_err": fig6, "speedup": speedup,
+            "overall_speedup": speedup / 3,
+            "des_seconds": 1.0, "solver_seconds": 1.0 / speedup}
+
+
+def test_within_floors_passes(baseline):
+    assert sv.compare_validate(_result(), baseline) == []
+
+
+def test_strict_limit_enforced_even_with_a_loose_floor(baseline):
+    # A committed floor above the strict limit cannot waive the 5% claim.
+    baseline["families"]["fig6"]["max_rel_err"] = 0.10
+    failures = sv.compare_validate(_result(fig6=0.06), baseline)
+    assert any("strict" in f for f in failures)
+
+
+def test_drift_beyond_committed_floor_fails(baseline):
+    failures = sv.compare_validate(_result(fig6=0.045), baseline)
+    assert any("committed floor" in f for f in failures)
+
+
+def test_loose_family_floor_enforced_without_strict_limit(baseline):
+    assert sv.compare_validate(_result(traffic=0.74), baseline) == []
+    failures = sv.compare_validate(_result(traffic=0.90), baseline)
+    assert failures and all("strict solver==DES" not in f for f in failures)
+
+
+def test_missing_family_fails(baseline):
+    result = _result()
+    del result["families"]["traffic"]
+    failures = sv.compare_validate(result, baseline)
+    assert any("missing" in f for f in failures)
+
+
+def test_speedup_commitment_enforced(baseline):
+    failures = sv.compare_validate(_result(speedup=40.0), baseline)
+    assert any("speedup" in f for f in failures)
+
+
+def test_write_baseline_commits_measured_errors(tmp_path):
+    path = tmp_path / "solver_validate.json"
+    sv.write_validate_baseline(_result(fig6=0.021), path)
+    data = json.loads(path.read_text())
+    assert data["families"]["fig6"] == {"max_rel_err": 0.021, "strict": True}
+    assert data["strict_limit"] == sv.STRICT_LIMIT
+    assert data["min_speedup"] == sv.MIN_SPEEDUP
+    # commitments raised by hand survive a refresh
+    data["min_speedup"] = 250.0
+    path.write_text(json.dumps(data))
+    sv.write_validate_baseline(_result(fig6=0.025), path)
+    data = json.loads(path.read_text())
+    assert data["min_speedup"] == 250.0
+    assert data["families"]["fig6"]["max_rel_err"] == 0.025
+
+
+def test_committed_baseline_is_strict_json_and_within_limits():
+    data = json.loads(sv.DEFAULT_VALIDATE_BASELINE.read_text())
+    for name, fam in data["families"].items():
+        if fam["strict"]:
+            assert fam["max_rel_err"] <= data["strict_limit"], name
+
+
+def test_fig5_cell_validates_live():
+    """One live strict cell end to end: DES vs solver within the limit —
+    the acceptance criterion on the paper's balanced configuration."""
+    from repro.solver import solve_bandwidth
+    des = sv._des_ping(64 << 10, 2 << 20, "b0->a0")
+    sol = solve_bandwidth(sv.ping_scenario(64 << 10, 2 << 20, "b0->a0"))
+    assert abs(sol - des) / des <= sv.STRICT_LIMIT
+
+
+def test_scenario_builders_validate():
+    for sc in (sv.ping_scenario(8 << 10, 1 << 20),
+               sv.multirail_scenario(8 << 10, 1 << 20, 3),
+               sv.traffic_scenario("torus", 4),
+               sv.traffic_scenario("fat_tree", 4)):
+        sc.validate()

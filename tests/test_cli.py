@@ -108,3 +108,21 @@ def test_trace_writes_chrome_json(tmp_path, capsys):
     assert trace["traceEvents"]
     spans = json.loads(spath.read_text())
     assert any(e["name"] == "forward" for e in spans["traceEvents"])
+
+
+def test_solve_scenario_prints_flows_and_writes_json(tmp_path, capsys):
+    out_path = tmp_path / "solve.json"
+    assert main(["solve", "--scenario", "benchmarks/scenarios/torus_uniform.yaml",
+                 "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "FCT" in out and "busiest links" in out
+    import json
+    payload = json.loads(out_path.read_text())   # strict JSON by construction
+    assert payload["summary"]["mode"] == "solver"
+    assert payload["flows"]
+
+
+def test_bench_sweep_rails_solver_mode(capsys):
+    assert main(["bench", "--sweep-rails", "--mode", "solver"]) == 0
+    out = capsys.readouterr().out
+    assert "solved | model" in out
