@@ -68,6 +68,14 @@ DEFAULT_FLOORS = {
     # may grow by at most this factor from 8 to 64 concurrent flows on the
     # 4x4 torus (a *maximum*, unlike the gain floors above).
     "sweep_nodes_event_growth": 1.3,
+    # the incremental fluid-rate engine must keep epochs local: on the
+    # 256-node torus uniform-traffic cell, each DES rate epoch may re-solve
+    # at most this mean fraction of the live flows (a *maximum*).
+    "incremental_recompute_fraction": 0.25,
+    # and the solver sweep grid must stay at least this much faster than
+    # the PR 8 epoch loop (re-run in the same process, so the ratio is
+    # machine-independent).
+    "incremental_solver_speedup": 2.0,
 }
 
 #: fig5/fig8 use the paper's balanced configuration: 2 MB over 64 KB paquets.
@@ -327,6 +335,14 @@ def _scenario_sweep_nodes() -> dict:
     return scaling_scenario()
 
 
+def _scenario_incremental_rates() -> dict:
+    """Incremental fluid-rate engine cell: DES recompute locality on the
+    256-node torus and solver speedup over the PR 8 epoch loop, both held
+    by the ``incremental_*`` floors (docs/performance.md)."""
+    from .scale import incremental_rates_scenario
+    return incremental_rates_scenario()
+
+
 _SCENARIOS = {
     "fig5": _scenario_fig5,
     "fig5_batched": _scenario_fig5_batched,
@@ -336,6 +352,7 @@ _SCENARIOS = {
     "batching": _scenario_batching,
     "multirail": _scenario_multirail,
     "sweep_nodes": _scenario_sweep_nodes,
+    "incremental_rates": _scenario_incremental_rates,
     "fig6": _scenario_fig6,
     "fig7": _scenario_fig7,
 }
@@ -343,7 +360,8 @@ _SCENARIOS = {
 #: --quick keeps the cheap single-transfer scenarios (the sweeps dominate
 #: the runtime); comparison then covers only the scenarios that ran.
 _QUICK_SCENARIOS = ("fig5", "fig5_batched", "fig8", "latency", "pipeline",
-                    "batching", "multirail", "sweep_nodes")
+                    "batching", "multirail", "sweep_nodes",
+                    "incremental_rates")
 
 
 def _run_scenario(name: str):
@@ -398,6 +416,11 @@ def compare_to_baseline(current: dict, baseline: dict,
         if name not in current:
             continue   # e.g. a --quick run skipped the sweeps
         for metric, base in metrics.items():
+            if metric.startswith("wall_") or metric == "solver_speedup":
+                # Wall-clock measurements vary with the machine; the
+                # speedup commitment is enforced one-sidedly by the
+                # ``incremental_solver_speedup`` floor below instead.
+                continue
             cur = current[name].get(metric)
             # Non-finite metrics serialize as null (see bench.jsonio);
             # neither side of a comparison may be null/NaN — that means a
@@ -466,6 +489,29 @@ def compare_to_baseline(current: dict, baseline: dict,
                 f"sweep_nodes.event_growth: {growth:.2f}x exceeds the "
                 f"committed ceiling ({growth_cap:.1f}x) — kernel cost per "
                 f"MB is no longer sub-linear in concurrent flow count")
+    frac_cap = floors.get("incremental_recompute_fraction")
+    if frac_cap is not None and "incremental_rates" in current:
+        frac = current["incremental_rates"].get("des_recompute_fraction",
+                                                float("inf"))
+        if frac > frac_cap + 1e-9:
+            failures.append(
+                f"incremental_rates.des_recompute_fraction: {frac:.1%} "
+                f"exceeds the committed ceiling ({frac_cap:.0%}) — rate "
+                f"epochs are no longer local to their contention component")
+    speed_floor = floors.get("incremental_solver_speedup")
+    if speed_floor is not None and "incremental_rates" in current:
+        speed = current["incremental_rates"].get("solver_speedup", 0.0)
+        if speed < speed_floor - 1e-9:
+            failures.append(
+                f"incremental_rates.solver_speedup: {speed:.2f}x is below "
+                f"the committed floor ({speed_floor:.1f}x) over the PR 8 "
+                f"epoch loop on the solver sweep grid")
+        agree = current["incremental_rates"].get("fct_agreement_ok", 0.0)
+        if agree < 1.0:
+            failures.append(
+                "incremental_rates.fct_agreement_ok: the incremental "
+                "solver's completion times diverged from the full "
+                "recomputation (or from the PR 8 reference loop)")
     return failures
 
 

@@ -15,13 +15,15 @@ flows multiply 8×.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from ..madeleine import reset_global_ids
 from ..scenario import Scenario, Topology, TrafficSpec
 
 __all__ = ["DEFAULT_GRID", "sweep_nodes", "run_traffic_scenario",
-           "solve_traffic_scenario", "format_sweep", "scaling_scenario"]
+           "solve_traffic_scenario", "format_sweep", "scaling_scenario",
+           "incremental_rates_scenario"]
 
 #: (kind, shape, flows) cells; shape is ``dims`` for torus.
 DEFAULT_GRID: tuple = (
@@ -160,4 +162,144 @@ def scaling_scenario() -> dict:
         out[f"completed_{flows}f"] = float(row["completed"])
     out["event_growth"] = (out["events_per_mb_64f"]
                            / out["events_per_mb_8f"])
+    return out
+
+
+def _pr8_solve_finish_times(scenario: Scenario) -> dict:
+    """The PR 8 solver epoch loop, preserved verbatim as the speed
+    reference for the incremental engine: full :func:`max_min_rates` over
+    every live rail at every epoch, ``pending.pop(0)`` admission, and
+    per-epoch rebuilds of every load dict.  Returns app index → finish µs.
+    """
+    from ..solver.core import _application_flows, max_min_rates
+    from ..solver.network import SolverNetwork
+
+    net = SolverNetwork(scenario)
+    caps = {key: r.capacity for key, r in net.resources.items()}
+    rails = []
+    meta = {}
+    for index, src, dst, nbytes, arrival in _application_flows(scenario):
+        expanded = net.routed_flows(index, src, dst, nbytes, arrival=arrival)
+        rails.extend(expanded)
+        meta[index] = len(expanded)
+    pending = sorted(rails, key=lambda r: (r.arrival + r.setup_us, r.id))
+    active, finish = {}, {}
+    now = 0.0
+    while pending or active:
+        if not active:
+            now = max(now, pending[0].arrival + pending[0].setup_us)
+        else:
+            rates = max_min_rates([f for f, _rem in active.values()], caps)
+            dt_done = math.inf
+            for rid, (_f, rem) in active.items():
+                dt_done = min(dt_done, rem / rates[rid])
+            horizon = now + dt_done
+            if pending:
+                horizon = min(horizon,
+                              pending[0].arrival + pending[0].setup_us)
+            dt = horizon - now
+            for rid, entry in active.items():
+                entry[1] = entry[1] - rates[rid] * dt
+            now = horizon
+            for rid in [rid for rid, (_f, rem) in active.items()
+                        if rem <= 1e-6]:
+                finish[rid] = now
+                del active[rid]
+        while pending and pending[0].arrival + pending[0].setup_us \
+                <= now + 1e-9:
+            f = pending.pop(0)
+            if f.nbytes <= 0:
+                finish[f.id] = now
+            else:
+                active[f.id] = [f, float(f.nbytes)]
+    return {index: max(finish[(index, r)] for r in range(k))
+            for index, k in meta.items()}
+
+
+def incremental_rates_scenario() -> dict:
+    """The regress cell for the incremental fluid-rate engine (PR 9).
+
+    Two committed guarantees (see ``DEFAULT_FLOORS``):
+
+    * **DES locality** — on the 256-node torus uniform-traffic cell, the
+      mean fraction of live flows whose rates each epoch re-solves stays
+      under ``incremental_recompute_fraction`` (arrival/completion events
+      only dirty their own contention component);
+    * **solver speed** — the ``--sweep-nodes --mode solver`` grid runs at
+      least ``incremental_solver_speedup`` × faster than the PR 8 epoch
+      loop (re-run here verbatim, so the ratio is machine-independent),
+      while agreeing with it on every flow completion time to 1e-6
+      relative (``fct_agreement_ok``) and staying bit-identical to the
+      full-recompute mode.
+
+    ``wall_*`` and ``solver_speedup`` are wall-clock measurements and are
+    excluded from the tolerance-band baseline comparison; everything else
+    is deterministic.
+    """
+    import time
+    from ..solver import solve
+
+    out = {}
+    # -- DES locality on the big torus cell ---------------------------------
+    kind, shape, flows = DEFAULT_GRID[-1]
+    sc = _cell_scenario(_topology(kind, shape), flows, pattern="uniform",
+                        size=32 << 10, mean_interarrival=50.0,
+                        scheduler="calendar", seed=_SWEEP_SEED)
+    row = run_traffic_scenario(sc)
+    if row["completed"] < flows:
+        raise RuntimeError(
+            f"incremental_rates cell {kind}{tuple(shape)} x {flows}: only "
+            f"{row['completed']}/{flows} flows completed")
+    out["des_recompute_fraction"] = row["fluid_recompute_fraction"]
+    out["des_epochs"] = float(row["fluid_epochs"])
+    out["des_recompute_flows"] = float(row["fluid_recompute_flows"])
+
+    # -- solver speed + agreement over the sweep grid ------------------------
+    def grid_cells():
+        for kind, shape, flows in DEFAULT_GRID:
+            yield _cell_scenario(_topology(kind, shape), flows,
+                                 pattern="uniform", size=32 << 10,
+                                 mean_interarrival=50.0,
+                                 scheduler="calendar", seed=_SWEEP_SEED)
+
+    # Interleave the two loops per cell and keep each cell's best of three
+    # repetitions: a `--jobs` pool runs other scenarios on sibling cores,
+    # and timing the loops back-to-back would let that contention land on
+    # one side only and skew the ratio.
+    cells = list(grid_cells())
+    legacy: list = [None] * len(cells)
+    results: list = [None] * len(cells)
+    best_legacy = [float("inf")] * len(cells)
+    best_inc = [float("inf")] * len(cells)
+    for _rep in range(3):
+        for i, sc in enumerate(cells):
+            t0 = time.perf_counter()
+            legacy[i] = _pr8_solve_finish_times(sc)
+            best_legacy[i] = min(best_legacy[i], time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            results[i] = solve(sc)
+            best_inc[i] = min(best_inc[i], time.perf_counter() - t0)
+    wall_legacy = sum(best_legacy)
+    wall_inc = sum(best_inc)
+    full = [solve(sc, incremental=False) for sc in cells]
+
+    agree = 1.0
+    for ref, res, res_full in zip(legacy, results, full):
+        for est, est_full in zip(res.flows, res_full.flows):
+            if est.finish_us != est_full.finish_us:
+                agree = 0.0     # incremental must equal full *bit for bit*
+            if not math.isclose(est.finish_us, ref[est.index],
+                                rel_tol=1e-6, abs_tol=1e-3):
+                agree = 0.0
+    big = results[-1]
+    out["solver_recompute_fraction"] = (big.epoch_flows
+                                        / big.live_flow_epochs)
+    out["mean_component_flows"] = (
+        sum(size * n for size, n in big.component_sizes.items())
+        / max(1, sum(big.component_sizes.values())))
+    out["solver_epochs"] = float(big.recomputes)
+    out["fct_agreement_ok"] = agree
+    out["wall_legacy_s"] = wall_legacy
+    out["wall_incremental_s"] = wall_inc
+    out["solver_speedup"] = wall_legacy / wall_inc
     return out

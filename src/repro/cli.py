@@ -351,6 +351,27 @@ def cmd_bench(args) -> int:
 
     from .bench import regress as rg
 
+    if getattr(args, "profile", None):
+        # cProfile wrapper around whichever bench action was requested:
+        # prints the top-20 cumulative functions and writes a .pstats
+        # artifact for `snakeviz`/`pstats` spelunking.  Forces a serial
+        # run — a multiprocessing pool would escape the profiler.
+        import cProfile
+        import pstats
+
+        if args.jobs and args.jobs > 1:
+            print("--profile forces a serial run (--jobs 1)", file=sys.stderr)
+        args.jobs = 1
+        prof_path = pathlib.Path(args.profile)
+        args.profile = None
+        prof = cProfile.Profile()
+        rc = prof.runcall(cmd_bench, args)
+        prof.dump_stats(prof_path)
+        print()
+        pstats.Stats(prof).sort_stats("cumulative").print_stats(20)
+        print(f"wrote profile {prof_path}")
+        return rc
+
     if args.sweep_pipeline:
         return _sweep_pipeline(args)
     if args.sweep_rails:
@@ -611,6 +632,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "'solver' estimates cells with the analytic "
                         "fixed-point solver instead of simulating "
                         "(docs/solver.md)")
+    p.add_argument("--profile", nargs="?", const="bench_profile.pstats",
+                   default=None, metavar="PSTATS",
+                   help="run the selected bench action under cProfile: "
+                        "print the top-20 cumulative functions and write "
+                        "a .pstats artifact (default bench_profile.pstats); "
+                        "forces a serial run")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(

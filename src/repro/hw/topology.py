@@ -29,13 +29,13 @@ class World:
                  scheduler: str = "heap",
                  bucket_width: Optional[float] = None) -> None:
         self.sim = Simulator(scheduler=scheduler, bucket_width=bucket_width)
-        self.fnet = FluidNetwork(self.sim)
         self.trace = TraceRecorder()
         self.accounting = CopyAccounting()
         # Off by default: a disabled registry records nothing and keeps
         # benchmark numbers bit-identical (Session(telemetry=True) enables it).
         self.telemetry = Telemetry(clock=lambda: self.sim.now,
                                    trace=self.trace, enabled=False)
+        self.fnet = FluidNetwork(self.sim, metrics=self.telemetry.metrics)
         self.fabric = Fabric(self.sim, self.fnet, self.trace, self.accounting,
                              telemetry=self.telemetry)
         self.node_params = node_params or NodeParams()

@@ -49,12 +49,14 @@ def reset_global_ids() -> None:
     each run to start every session from the same id space.
     """
     from . import channel, gateway, gtm, message, reliable, stripe
+    from ..sim import fluid
     message._msg_ids = itertools.count(1)
     gtm._msg_ids = itertools.count(1 << 20)
     stripe._stripe_ids = itertools.count(1)
     reliable._transfer_ids = itertools.count(1)
     channel._channel_seq = itertools.count()
     gateway.ForwardingWorker._ids = itertools.count()
+    fluid.Flow._ids = itertools.count()
 
 
 __all__ = [

@@ -19,6 +19,30 @@ rate; rates are recomputed whenever the set of active flows changes, using
 Rates are piecewise constant between recomputations, so the completion time
 of each flow is exact — no time-stepping error.  Bandwidths are bytes/µs,
 numerically equal to MB/s.
+
+**Incremental recomputation.**  Flows only contend through shared
+resources, so the flow↔resource contention graph decomposes into connected
+*components* whose max-min allocations are independent: the fixed point of
+a component is a pure function of its member flows (ordered by arrival),
+their effective caps, and its resource capacities.  The network exploits
+this two ways:
+
+* progressive filling always runs **per component** — the fill of an
+  N-flow component costs O(N² · path) instead of the whole population's
+  O(total²·path);
+* on each arrival/completion only the component(s) reachable from the
+  changed flow are re-solved (``incremental=True``, the default): flows in
+  untouched components keep their rates — and, because the shared wake-up
+  is reused when its firing time is unchanged, their scheduled wakeups —
+  verbatim.  A full recompute (``incremental=False``) re-fills *every*
+  component each epoch; both modes are bit-identical because re-filling an
+  untouched component reproduces its previous rates exactly.
+
+Work done is observable on the network (``recompute_epochs``,
+``recomputed_flows``, ``live_flow_epochs``) and, when a metrics registry is
+attached, as ``fluid.recomputes``/``fluid.recompute_flows``/
+``fluid.epoch_live_flows`` counters plus the ``fluid.component_size``
+histogram (docs/telemetry.md).
 """
 
 from __future__ import annotations
@@ -35,6 +59,9 @@ _EPS = 1e-9
 #: transaction kinds
 DMA = "dma"
 PIO = "pio"
+
+#: bucket bounds for the component-size histogram (flows per re-solve).
+_COMPONENT_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
 class _OrderedSet:
@@ -70,7 +97,8 @@ class _OrderedSet:
 class FluidResource:
     """A shared capacity (bytes/µs) that concurrent flows divide."""
 
-    __slots__ = ("name", "capacity", "preempt_slowdown", "flows")
+    __slots__ = ("name", "capacity", "preempt_slowdown", "flows",
+                 "dma_flows")
 
     def __init__(self, name: str, capacity: float,
                  preempt_slowdown: float = 1.0) -> None:
@@ -84,6 +112,10 @@ class FluidResource:
         #: shares this resource.
         self.preempt_slowdown = preempt_slowdown
         self.flows: _OrderedSet = _OrderedSet()
+        #: attached flows whose (first) hop on this resource is DMA —
+        #: maintained by the network so the PIO-under-DMA cap check is
+        #: O(path) per flow instead of a scan of every co-member.
+        self.dma_flows: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<FluidResource {self.name} cap={self.capacity}B/µs>"
@@ -99,7 +131,8 @@ class Flow:
     _ids = itertools.count()
 
     __slots__ = ("id", "name", "size", "remaining", "path", "peak",
-                 "rate", "done", "started_at", "finished_at", "_last_update")
+                 "rate", "done", "started_at", "finished_at", "_last_update",
+                 "_seq")
 
     def __init__(self, name: str, size: float,
                  path: Sequence[tuple[FluidResource, str]], peak: float) -> None:
@@ -121,6 +154,9 @@ class Flow:
         self.started_at: float = 0.0
         self.finished_at: Optional[float] = None
         self._last_update: float = 0.0
+        #: network-local arrival sequence (assigned on attach); orders
+        #: component members independently of the process-wide id counter.
+        self._seq: int = -1
 
     def kind_on(self, resource: FluidResource) -> Optional[str]:
         for res, kind in self.path:
@@ -136,18 +172,87 @@ class Flow:
                 f"{self.size:.0f}B rate={self.rate:.2f}>")
 
 
+def _fill_component(flows: list[Flow], caps: dict[Flow, float]) -> dict[Flow, float]:
+    """Progressive filling of one contention component.
+
+    ``flows`` must be in arrival order and ``caps`` must hold each flow's
+    effective cap (peak, PIO-under-DMA already applied).  This is the exact
+    arithmetic of the historical whole-population fill restricted to one
+    component, so single-component workloads (the golden fig5 pipeline)
+    reproduce the pre-incremental engine bit for bit.
+    """
+    alloc: dict[Flow, float] = {f: 0.0 for f in flows}
+    residual: dict[FluidResource, float] = {}
+    for f in flows:
+        for res in f.resources():
+            residual.setdefault(res, res.capacity)
+    active = list(flows)
+    while active:
+        delta = min(caps[f] - alloc[f] for f in active)
+        counts: dict[FluidResource, int] = {}
+        for f in active:
+            for res in f.resources():
+                counts[res] = counts.get(res, 0) + 1
+        for res, n in counts.items():
+            delta = min(delta, residual[res] / n)
+        if delta > _EPS:
+            for f in active:
+                alloc[f] += delta
+                for res in f.resources():
+                    residual[res] -= delta
+            for res in residual:
+                if residual[res] < 0:  # numerical guard
+                    residual[res] = 0.0
+        still = []
+        for f in active:
+            capped = alloc[f] >= caps[f] - _EPS
+            saturated = any(residual[res] <= _EPS for res in f.resources())
+            if not capped and not saturated:
+                still.append(f)
+        if len(still) == len(active):
+            break  # no progress possible without a freeze: stop
+        active = still
+    return alloc
+
+
 class FluidNetwork:
     """Manages active flows, rate recomputation, and completion events."""
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Simulator, metrics=None,
+                 incremental: bool = True) -> None:
         self.sim = sim
         self.flows: _OrderedSet = _OrderedSet()
+        #: re-solve only dirty contention components (False: re-fill every
+        #: component each epoch — same schedules, more work; kept for the
+        #: full≡incremental identity matrix and as a debugging fallback).
+        self.incremental = incremental
         self._wake_version = 0
         self._wake_ev: Optional[Event] = None
         self._wake_at: float = float("inf")
+        self._seq = itertools.count()
         #: optional observers called as fn(t, flow, new_rate) on rate changes
         #: (used by the pipeline analyses behind Figures 5 and 8).
         self.rate_observers: list[Callable[[float, Flow, float], None]] = []
+        # -- work accounting (always on; plain ints are ~free) --------------
+        #: rate-recomputation epochs (arrivals + wake-ups with live flows).
+        self.recompute_epochs = 0
+        #: flows whose rates were actually re-solved, summed over epochs.
+        self.recomputed_flows = 0
+        #: live flows at each epoch, summed — ``recomputed_flows /
+        #: live_flow_epochs`` is the mean fraction of the population each
+        #: epoch had to touch.
+        self.live_flow_epochs = 0
+        if metrics is not None:
+            self._m_recomputes = metrics.counter("fluid.recomputes")
+            self._m_recompute_flows = metrics.counter("fluid.recompute_flows")
+            self._m_epoch_live = metrics.counter("fluid.epoch_live_flows")
+            self._m_component = metrics.histogram("fluid.component_size",
+                                                  bounds=_COMPONENT_BOUNDS)
+        else:
+            self._m_recomputes = None
+            self._m_recompute_flows = None
+            self._m_epoch_live = None
+            self._m_component = None
 
     # -- public API ---------------------------------------------------------
     def transfer(self, name: str, size: float,
@@ -164,15 +269,61 @@ class FluidNetwork:
             flow.done.succeed(flow)
             return flow.done
         self._advance()
-        self.flows.add(flow)
-        for res in flow.resources():
-            res.flows.add(flow)
-        self._recompute()
+        self._attach(flow)
+        self._recompute([flow])
         return flow.done
 
     def utilization(self, resource: FluidResource) -> float:
         """Instantaneous total rate through ``resource``."""
         return sum(f.rate for f in resource.flows)
+
+    # -- contention-graph bookkeeping -----------------------------------------
+    def _attach(self, flow: Flow) -> None:
+        flow._seq = next(self._seq)
+        self.flows.add(flow)
+        for res in dict.fromkeys(flow.resources()):
+            res.flows.add(flow)
+            if flow.kind_on(res) == DMA:
+                res.dma_flows += 1
+
+    def _detach(self, flow: Flow) -> None:
+        self.flows.discard(flow)
+        for res in dict.fromkeys(flow.resources()):
+            res.flows.discard(flow)
+            if flow.kind_on(res) == DMA:
+                res.dma_flows -= 1
+
+    def _component(self, seed: Flow, visited: set) -> list[Flow]:
+        """The live contention component containing ``seed`` (arrival
+        order), grown breadth-first over shared resources."""
+        visited.add(seed)
+        comp = [seed]
+        frontier = [seed]
+        while frontier:
+            nxt = []
+            for f in frontier:
+                for res in f.resources():
+                    for o in res.flows:
+                        if o not in visited:
+                            visited.add(o)
+                            comp.append(o)
+                            nxt.append(o)
+            frontier = nxt
+        comp.sort(key=lambda f: f._seq)
+        return comp
+
+    def _effective_cap(self, flow: Flow) -> float:
+        """Flow's standalone cap with PIO-under-DMA applied, from the
+        maintained per-resource DMA membership counts (O(path))."""
+        cap = flow.peak
+        for res, kind in flow.path:
+            if kind == PIO:
+                others = res.dma_flows
+                if flow.kind_on(res) == DMA:
+                    others -= 1
+                if others > 0:
+                    cap = min(cap, flow.peak / res.preempt_slowdown)
+        return cap
 
     # -- bookkeeping ----------------------------------------------------------
     def _advance(self) -> None:
@@ -185,9 +336,7 @@ class FluidNetwork:
             flow._last_update = now
 
     def _finish(self, flow: Flow) -> None:
-        self.flows.discard(flow)
-        for res in flow.resources():
-            res.flows.discard(flow)
+        self._detach(flow)
         flow.rate = 0.0
         flow.remaining = 0.0
         flow.finished_at = self.sim.now
@@ -195,15 +344,37 @@ class FluidNetwork:
             obs(self.sim.now, flow, 0.0)
         flow.done.succeed(flow)
 
-    def _recompute(self) -> None:
-        rates = self.solve_rates(self.flows)
-        for flow, rate in rates.items():
-            if abs(rate - flow.rate) > _EPS:
-                flow.rate = rate
-                for obs in self.rate_observers:
-                    obs(self.sim.now, flow, rate)
-            else:
-                flow.rate = rate
+    def _recompute(self, seeds: Iterable[Flow]) -> None:
+        """Re-solve the contention component(s) reachable from ``seeds``
+        (every component when ``incremental`` is off) and re-arm the
+        wake-up.  Components not reached keep their rates untouched."""
+        if not self.incremental:
+            seeds = self.flows
+        visited: set = set()
+        touched = 0
+        for seed in seeds:
+            if seed in visited or seed not in self.flows:
+                continue
+            comp = self._component(seed, visited)
+            touched += len(comp)
+            if self._m_component is not None:
+                self._m_component.observe(float(len(comp)))
+            caps = {f: self._effective_cap(f) for f in comp}
+            rates = _fill_component(comp, caps)
+            for flow, rate in rates.items():
+                if abs(rate - flow.rate) > _EPS:
+                    flow.rate = rate
+                    for obs in self.rate_observers:
+                        obs(self.sim.now, flow, rate)
+                else:
+                    flow.rate = rate
+        self.recompute_epochs += 1
+        self.recomputed_flows += touched
+        self.live_flow_epochs += len(self.flows)
+        if self._m_recomputes is not None:
+            self._m_recomputes.inc()
+            self._m_recompute_flows.inc(touched)
+            self._m_epoch_live.inc(len(self.flows))
         self._schedule_wakeup()
 
     def _schedule_wakeup(self) -> None:
@@ -248,28 +419,42 @@ class FluidNetwork:
         self._wake_ev = None
         self._advance()
         finished = [f for f in self.flows if f.remaining <= 1e-6 * max(1.0, f.size)]
+        if not (self.flows or finished):
+            return
+        # Seeds for the post-removal recompute: every live flow sharing a
+        # resource with a finisher.  BFS closure from these covers the
+        # finishers' whole former component(s) — any flow whose allocation
+        # can change — and nothing else.
+        gone = set(finished)
+        seeds = []
+        seen = set()
+        for flow in finished:
+            for res in flow.resources():
+                for o in res.flows:
+                    if o not in gone and o not in seen:
+                        seen.add(o)
+                        seeds.append(o)
         for flow in finished:
             self._finish(flow)
-        if self.flows or finished:
-            self._recompute()
+        self._recompute(seeds)
 
     # -- the rate solver ------------------------------------------------------
     @staticmethod
     def solve_rates(flows: Iterable[Flow]) -> dict[Flow, float]:
         """Max-min progressive filling with PIO-under-DMA contention caps.
 
-        Pure function of the flow set; exercised directly by the
-        property-based tests.
+        Pure function of the flow set (membership is derived from the given
+        flows alone, not from live network state); exercised directly by
+        the property-based tests.  Filling runs per contention component —
+        components are independent, so this changes no allocation, only
+        the work done.
         """
         flows = list(flows)
-        alloc: dict[Flow, float] = {f: 0.0 for f in flows}
         if not flows:
-            return alloc
-        residual: dict[FluidResource, float] = {}
+            return {}
         members: dict[FluidResource, list[Flow]] = {}
         for f in flows:
             for res in f.resources():
-                residual.setdefault(res, res.capacity)
                 members.setdefault(res, []).append(f)
         # Effective per-flow cap: standalone peak, divided by the resource
         # slowdown when this flow is PIO on a resource that also carries DMA.
@@ -282,31 +467,30 @@ class FluidNetwork:
                         for o in members[res]):
                     cap = min(cap, f.peak / res.preempt_slowdown)
             caps[f] = cap
-        # Progressive filling.
-        active = list(flows)
-        while active:
-            delta = min(caps[f] - alloc[f] for f in active)
-            counts: dict[FluidResource, int] = {}
-            for f in active:
-                for res in f.resources():
-                    counts[res] = counts.get(res, 0) + 1
-            for res, n in counts.items():
-                delta = min(delta, residual[res] / n)
-            if delta > _EPS:
-                for f in active:
-                    alloc[f] += delta
-                    for res in f.resources():
-                        residual[res] -= delta
-                for res in residual:
-                    if residual[res] < 0:  # numerical guard
-                        residual[res] = 0.0
-            still = []
-            for f in active:
-                capped = alloc[f] >= caps[f] - _EPS
-                saturated = any(residual[res] <= _EPS for res in f.resources())
-                if not capped and not saturated:
-                    still.append(f)
-            if len(still) == len(active):
-                break  # no progress possible without a freeze: stop
-            active = still
+        # Partition into contention components (flows sharing no resource,
+        # directly or transitively, never interact).
+        comp_of: dict[Flow, int] = {}
+        n_comps = 0
+        for f in flows:
+            if f in comp_of:
+                continue
+            comp_of[f] = n_comps
+            frontier = [f]
+            while frontier:
+                nxt = []
+                for g in frontier:
+                    for res in g.resources():
+                        for o in members[res]:
+                            if o not in comp_of:
+                                comp_of[o] = n_comps
+                                nxt.append(o)
+                frontier = nxt
+            n_comps += 1
+        groups: list[list[Flow]] = [[] for _ in range(n_comps)]
+        for f in flows:
+            if not groups[comp_of[f]] or groups[comp_of[f]][-1] is not f:
+                groups[comp_of[f]].append(f)
+        alloc: dict[Flow, float] = {}
+        for group in groups:
+            alloc.update(_fill_component(group, caps))
         return alloc

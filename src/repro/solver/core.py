@@ -23,6 +23,7 @@ the multirail topology collapses to
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Sequence
@@ -115,6 +116,19 @@ class SolverResult:
     duration_us: float
     #: fixed-point recomputations (one per arrival/completion epoch).
     recomputes: int
+    #: rail flows actually re-solved, summed over epochs (the work done);
+    #: with ``incremental=False`` this equals ``live_flow_epochs``.
+    epoch_flows: int = 0
+    #: live rail flows at each epoch, summed — ``epoch_flows /
+    #: live_flow_epochs`` is the mean fraction of the population each
+    #: epoch had to touch.
+    live_flow_epochs: int = 0
+    #: contention-component size -> number of times a component of that
+    #: size was re-solved.
+    component_sizes: dict = None
+    #: with ``crosscheck=True``: the largest relative deviation of any
+    #: epoch's live rates from a from-scratch :func:`max_min_rates` oracle.
+    crosscheck_max_dev: float = 0.0
 
     def link_utilization(self) -> dict[str, float]:
         """Wire-segment utilization only, keyed by channel id."""
@@ -150,6 +164,10 @@ class SolverResult:
                             if self.duration_us else 0.0),
             "events": self.recomputes,
             "events_per_mb": (self.recomputes / mb) if mb else float("nan"),
+            "epoch_flows": self.epoch_flows,
+            "live_flow_epochs": self.live_flow_epochs,
+            "recompute_fraction": (self.epoch_flows / self.live_flow_epochs
+                                   if self.live_flow_epochs else 0.0),
         }
 
 
@@ -171,15 +189,125 @@ def _application_flows(scenario: Scenario) -> list[tuple]:
     return out
 
 
-def solve(scenario: Scenario, node_params=None,
-          gateway_params=None) -> SolverResult:
+class _Rail:
+    """Mutable epoch-loop state of one active rail flow.
+
+    ``rem`` is the bytes left at ``t_last``; the pair is only *settled*
+    (advanced to the current instant) when the rail's rate actually
+    changes, so a rail in an untouched contention component carries its
+    state — and its predicted finish — across epochs verbatim.
+    """
+
+    __slots__ = ("rf", "fp", "rem", "t_last", "rate", "version", "seq")
+
+    def __init__(self, rf: RoutedFlow, seq: int) -> None:
+        self.rf = rf
+        #: (resource id, weight) pairs — footprint with interned keys.
+        self.fp = tuple(zip(rf.res_ids, (w for _k, w in rf.footprint)))
+        self.rem = float(rf.nbytes)
+        self.t_last = rf.arrival + rf.setup_us
+        self.rate = 0.0
+        self.version = 0
+        self.seq = seq
+
+
+def _fill_solver_component(comp: list, capacities: list) -> dict:
+    """Progressive filling of one contention component of active rails.
+
+    The rounds mirror :func:`max_min_rates` (same freeze slack, same
+    saturation test, same stall break) restricted to the component; since
+    components share no resources, the component-wise fixed points compose
+    to the global one.  Two arithmetic shortcuts keep each round linear in
+    ``active + resources`` instead of ``active × footprint``: a resource's
+    demand is maintained across rounds (frozen flows subtract their weights
+    on exit) rather than rebuilt, and its usage advances by
+    ``demand × inc`` in one step rather than per member — both reorder
+    float sums, so rates can drift ulps (≪ the 1e-9 crosscheck gate) from
+    the reference filling, never past a freeze slack.
+    """
+    n = len(comp)
+    ceils = [rail.rf.ceiling for rail in comp]
+    slacks = [_REL_EPS * max(1.0, c) for c in ceils]
+    fps = [rail.fp for rail in comp]
+    rate = [0.0] * n
+    load: dict = {}              # resource id -> total active demand
+    count: dict = {}             # resource id -> active member count
+    used: dict = {}
+    for fp in fps:
+        for i, w in fp:
+            load[i] = load.get(i, 0.0) + w
+            count[i] = count.get(i, 0) + 1
+            used[i] = 0.0
+    cap_slack = {i: _REL_EPS * (capacities[i] if capacities[i] > 1.0 else 1.0)
+                 for i in load}
+    active = list(range(n))
+    while active:
+        inc = math.inf
+        for k in active:
+            head = ceils[k] - rate[k]
+            if head < inc:
+                inc = head
+        for i, demand in load.items():
+            head = (capacities[i] - used[i]) / demand
+            if head < inc:
+                inc = head
+        if inc < 0.0:
+            inc = 0.0
+        saturated = set()
+        for i, demand in load.items():
+            u = used[i] + demand * inc
+            used[i] = u
+            if capacities[i] - u <= cap_slack[i]:
+                saturated.add(i)
+        rest = []
+        for k in active:
+            r = rate[k] + inc
+            rate[k] = r
+            if r < ceils[k] - slacks[k] and not (
+                    saturated and any(i in saturated for i, _w in fps[k])):
+                rest.append(k)
+        if len(rest) == len(active):   # numerical stall: nothing froze
+            break                      # pragma: no cover
+        j = 0
+        for k in active:               # retire the flows that froze
+            if j < len(rest) and rest[j] == k:
+                j += 1
+                continue
+            for i, w in fps[k]:
+                count[i] -= 1
+                if count[i]:
+                    load[i] -= w
+                else:
+                    del load[i]
+                    del count[i]
+        active = rest
+    return {rail.rf.id: rate[k] for k, rail in enumerate(comp)}
+
+
+def solve(scenario: Scenario, node_params=None, gateway_params=None,
+          incremental: bool = True,
+          crosscheck: bool = False) -> SolverResult:
     """Solve ``scenario`` analytically: route every flow with the DES's own
     route table, allocate max-min fair rates at every arrival/completion
     epoch, and integrate the fluid rates into per-flow finish times and
-    per-resource utilization."""
+    per-resource utilization.
+
+    Rates only change inside the contention component(s) an epoch's
+    arrivals/completions touch, so by default (``incremental=True``) only
+    those components are re-filled; rails elsewhere keep their rates and
+    predicted finish times verbatim.  ``incremental=False`` re-fills every
+    component each epoch — identical results, more work (a rail whose
+    re-filled rate is unchanged is left unsettled either way, which is what
+    makes the two modes *bit*-identical, not merely close).
+    ``crosscheck=True`` additionally re-solves every epoch from scratch
+    with :func:`max_min_rates` and records the largest relative rate
+    deviation in :attr:`SolverResult.crosscheck_max_dev`.
+    """
     net = SolverNetwork(scenario, node_params=node_params,
                         gateway_params=gateway_params)
-    caps = {key: r.capacity for key, r in net.resources.items()}
+    res_keys = net.res_keys()
+    caps = {key: net.resources[key].capacity for key in res_keys}
+    capacities = [caps[key] for key in res_keys]      # dense, by resource id
     apps = _application_flows(scenario)
     rails: list[RoutedFlow] = []
     meta = {}           # app index -> (src, dst, nbytes, arrival, setup, k)
@@ -190,52 +318,166 @@ def solve(scenario: Scenario, node_params=None,
                        max(r.setup_us for r in expanded), len(expanded))
 
     # Streaming starts once the route's setup (announce, stripe record,
-    # switch overheads, pipeline fill) has played out.
-    pending = sorted(rails, key=lambda r: (r.arrival + r.setup_us, r.id))
-    active: dict = {}                     # rail id -> [RoutedFlow, remaining]
+    # switch overheads, pipeline fill) has played out.  Arrivals are
+    # sorted once and consumed through an index cursor — the historical
+    # ``pending.pop(0)`` re-shuffled the whole list on every admission.
+    arrivals = sorted(rails, key=lambda r: (r.arrival + r.setup_us, r.id))
+    cursor = 0
+    active: dict = {}                     # rail id -> _Rail
+    members: list[dict] = [{} for _ in res_keys]   # res id -> {rail id: _Rail}
     finish: dict = {}                     # rail id -> finish time
-    util = {key: 0.0 for key in caps}     # integral of allocated rate, bytes
+    util = [0.0] * len(res_keys)          # integral of allocated load, bytes
+    res_rate = [0.0] * len(res_keys)      # current total weighted rate
+    res_last = [0.0] * len(res_keys)      # last settle time
+    heap: list = []                       # (t_pred, seq, rail id, version)
     now = 0.0
+    seq = 0
     recomputes = 0
-    while pending or active:
-        if not active:
-            now = max(now, pending[0].arrival + pending[0].setup_us)
-        else:
-            rates = max_min_rates([f for f, _rem in active.values()], caps)
-            recomputes += 1
-            dt_done = math.inf
-            for rid, (_f, rem) in active.items():
-                r = rates[rid]
+    epoch_flows = 0
+    live_flow_epochs = 0
+    component_sizes: dict = {}
+    crosscheck_dev = 0.0
+
+    def settle_resource(i: int, t: float) -> None:
+        dt = t - res_last[i]
+        if dt > 0.0:
+            util[i] += res_rate[i] * dt
+        res_last[i] = t
+
+    def next_finish() -> float:
+        """Earliest predicted rail finish (lazy-dropping stale entries)."""
+        while heap:
+            t_pred, _s, rid, version = heap[0]
+            rail = active.get(rid)
+            if rail is None or rail.version != version:
+                heapq.heappop(heap)
+                continue
+            return t_pred
+        return math.inf
+
+    def resolve(seeds: list) -> None:
+        """Re-fill the contention component(s) reachable from ``seeds``."""
+        nonlocal recomputes, epoch_flows, live_flow_epochs, crosscheck_dev
+        if not incremental:
+            seeds = list(active.values())
+        visited: set = set()
+        touched = 0
+        for seed in seeds:
+            if seed.rf.id in visited or seed.rf.id not in active:
+                continue
+            comp = [seed]
+            visited.add(seed.rf.id)
+            frontier = [seed]
+            while frontier:
+                grown = []
+                for rail in frontier:
+                    for i, _w in rail.fp:
+                        for orid, (other, _ow) in members[i].items():
+                            if orid not in visited:
+                                visited.add(orid)
+                                comp.append(other)
+                                grown.append(other)
+                frontier = grown
+            comp.sort(key=lambda rail: rail.seq)
+            touched += len(comp)
+            component_sizes[len(comp)] = component_sizes.get(len(comp), 0) + 1
+            comp_res = {i for rail in comp for i, _w in rail.fp}
+            for i in comp_res:
+                settle_resource(i, now)
+            rates = _fill_solver_component(comp, capacities)
+            for rail in comp:
+                r = rates[rail.rf.id]
                 if r <= 0.0:
                     raise RuntimeError(
-                        f"fluid flow {rid} starved (rate 0); resource "
+                        f"fluid flow {rail.rf.id} starved (rate 0); resource "
                         f"capacities leave it no share")
-                dt_done = min(dt_done, rem / r)
-            horizon = now + dt_done
-            if pending:
-                horizon = min(horizon,
-                              pending[0].arrival + pending[0].setup_us)
-            dt = horizon - now
-            for rid, entry in active.items():
-                f, rem = entry
-                entry[1] = rem - rates[rid] * dt
-                for key, w in f.footprint:
-                    util[key] += rates[rid] * w * dt
+                if r != rail.rate:
+                    # settle progress at the old rate, then switch
+                    dt = now - rail.t_last
+                    if dt > 0.0:
+                        rail.rem -= rail.rate * dt
+                    rail.t_last = now
+                    delta = r - rail.rate
+                    for i, w in rail.fp:
+                        res_rate[i] += delta * w
+                    rail.rate = r
+                    rail.version += 1
+                    heapq.heappush(heap, (now + rail.rem / r, rail.seq,
+                                          rail.rf.id, rail.version))
+        recomputes += 1
+        epoch_flows += touched
+        live_flow_epochs += len(active)
+        if crosscheck and active:
+            oracle = max_min_rates([rail.rf for rail in active.values()],
+                                   caps)
+            for rail in active.values():
+                ref = oracle[rail.rf.id]
+                dev = abs(rail.rate - ref) / max(1.0, abs(ref))
+                crosscheck_dev = max(crosscheck_dev, dev)
+
+    while cursor < len(arrivals) or active:
+        if not active:
+            nxt = arrivals[cursor]
+            now = max(now, nxt.arrival + nxt.setup_us)
+        else:
+            horizon = next_finish()
+            if cursor < len(arrivals):
+                nxt = arrivals[cursor]
+                horizon = min(horizon, nxt.arrival + nxt.setup_us)
             now = horizon
-            done = [rid for rid, (_f, rem) in active.items()
-                    if rem <= 1e-6]       # sub-µbyte residue == drained
-            for rid in done:
-                finish[rid] = now
-                del active[rid]
-        while pending and pending[0].arrival + pending[0].setup_us \
-                <= now + _REL_EPS:
-            f = pending.pop(0)
-            if f.nbytes <= 0:      # a rail the stripe split left empty
-                finish[f.id] = now
+        # Completions: pop every rail whose residue at `now` is below the
+        # sub-µbyte drain threshold (the heap is predicted-finish ordered,
+        # so the qualifying prefix is contiguous up to the 1e-6 slack).
+        done = []
+        while heap:
+            t_pred, _s, rid, version = heap[0]
+            rail = active.get(rid)
+            if rail is None or rail.version != version:
+                heapq.heappop(heap)
+                continue
+            if t_pred <= now + 1e-6 / rail.rate:   # rem(now) <= 1e-6 bytes
+                heapq.heappop(heap)
+                done.append(rail)
             else:
-                active[f.id] = [f, float(f.nbytes)]
+                break
+        seeds = []
+        seen = set()
+        for rail in done:
+            finish[rail.rf.id] = now
+            del active[rail.rf.id]
+        for rail in done:
+            for i, w in rail.fp:
+                settle_resource(i, now)
+                del members[i][rail.rf.id]
+                if members[i]:
+                    res_rate[i] -= rail.rate * w
+                    for orid, (other, _ow) in members[i].items():
+                        if orid not in seen:
+                            seen.add(orid)
+                            seeds.append(other)
+                else:
+                    res_rate[i] = 0.0
+        seeds.sort(key=lambda rail: rail.seq)
+        while cursor < len(arrivals) and \
+                arrivals[cursor].arrival + arrivals[cursor].setup_us \
+                <= now + _REL_EPS:
+            rf = arrivals[cursor]
+            cursor += 1
+            if rf.nbytes <= 0:     # a rail the stripe split left empty
+                finish[rf.id] = now
+                continue
+            rail = _Rail(rf, seq)
+            seq += 1
+            rail.t_last = now
+            active[rf.id] = rail
+            for i, w in rail.fp:
+                members[i][rf.id] = (rail, w)
+            seeds.append(rail)
+        resolve(seeds)
 
     duration = max(finish.values()) if finish else 0.0
+    for i in range(len(res_keys)):
+        settle_resource(i, duration)
     estimates = []
     for index in sorted(meta):
         src, dst, nbytes, arrival, setup, k = meta[index]
@@ -244,11 +486,15 @@ def solve(scenario: Scenario, node_params=None,
                                       nbytes=nbytes, arrival=arrival,
                                       setup_us=setup, finish_us=fin,
                                       rails=k))
-    utilization = {key: (util[key] / (caps[key] * duration)
-                         if duration else 0.0) for key in caps}
+    utilization = {key: (util[i] / (capacities[i] * duration)
+                         if duration else 0.0)
+                   for i, key in enumerate(res_keys)}
     return SolverResult(scenario=scenario, flows=estimates,
                         utilization=utilization, duration_us=duration,
-                        recomputes=recomputes)
+                        recomputes=recomputes, epoch_flows=epoch_flows,
+                        live_flow_epochs=live_flow_epochs,
+                        component_sizes=component_sizes,
+                        crosscheck_max_dev=crosscheck_dev)
 
 
 def solve_bandwidth(scenario: Scenario, node_params=None,

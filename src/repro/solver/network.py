@@ -69,6 +69,10 @@ class RoutedFlow:
     ceiling: float                 # bytes/µs, from the pipeline kernel
     setup_us: float                # route-aware pre-streaming setup
     footprint: tuple[tuple[tuple, int], ...]   # ((resource key, weight), ...)
+    #: interned integer resource ids aligned with ``footprint`` (see
+    #: :attr:`SolverNetwork.res_index`) — the epoch loop's contention
+    #: bookkeeping indexes arrays by these instead of hashing key tuples.
+    res_ids: tuple = ()
 
 
 class SolverNetwork:
@@ -108,6 +112,7 @@ class SolverNetwork:
         self._by_id = by_id
         self.routes = RouteTable(self.channels)
         self._resources: dict[tuple, Resource] = {}
+        self._res_index: dict[tuple, int] = {}
         for ch in self.channels:
             self._add_resource(("link", ch.id), ch.protocol.link_bandwidth)
             for rank in ch.members:
@@ -128,10 +133,24 @@ class SolverNetwork:
     def _add_resource(self, key: tuple, capacity: float) -> None:
         if key not in self._resources:
             self._resources[key] = Resource(key=key, capacity=capacity)
+            self._res_index[key] = len(self._res_index)
 
     @property
     def resources(self) -> dict[tuple, Resource]:
         return self._resources
+
+    @property
+    def res_index(self) -> dict:
+        """Resource key → dense integer id (registration order)."""
+        return self._res_index
+
+    def res_keys(self) -> list[tuple]:
+        """Resource keys in id order (the inverse of :attr:`res_index`)."""
+        return list(self._res_index)
+
+    def _intern(self, footprint: tuple) -> tuple:
+        """The ``res_ids`` tuple matching ``footprint`` entry for entry."""
+        return tuple(self._res_index[key] for key, _w in footprint)
 
     # -- per-route kernels ---------------------------------------------------
     def packet_for(self, route: Sequence[Hop]) -> int:
@@ -229,7 +248,8 @@ class SolverNetwork:
             return [RoutedFlow(id=(index, 0), nbytes=nbytes, arrival=arrival,
                                ceiling=ceil,
                                setup_us=self.setup_time(route),
-                               footprint=footprint)]
+                               footprint=footprint,
+                               res_ids=self._intern(footprint))]
         share = self.node.pci.capacity / len(rails)
         ceilings = [self.ceiling(r, end_share=share) for r in rails]
         total = sum(ceilings)
@@ -241,10 +261,11 @@ class SolverNetwork:
             chunk = (nbytes - assigned if k == len(rails) - 1
                      else nbytes * ceil / total)
             assigned += chunk
+            footprint = self.footprint(route) + ((("rx", dst), 1.0 / total),)
             out.append(RoutedFlow(
                 id=(index, k), nbytes=chunk, arrival=arrival, ceiling=ceil,
                 setup_us=self.setup_time(route, rails=len(rails),
                                          end_share=share),
-                footprint=self.footprint(route)
-                + ((("rx", dst), 1.0 / total),)))
+                footprint=footprint,
+                res_ids=self._intern(footprint)))
         return out

@@ -207,6 +207,7 @@ class TrafficEngine:
         total_bytes = sum(r.flow.nbytes for r in self.records)
         duration = self.session.now
         events = self.session.sim.events_processed
+        fnet = self.session.world.fnet
         mb = total_bytes / 1e6
         return {
             "flows": len(self.flows),
@@ -221,6 +222,14 @@ class TrafficEngine:
             "goodput_mbs": (total_bytes / duration) if duration else 0.0,
             "events": events,
             "events_per_mb": (events / mb) if mb else nan,
+            # work done by the incremental fluid-rate engine (see
+            # docs/performance.md): flows re-solved vs flows live, summed
+            # over rate-recomputation epochs.
+            "fluid_epochs": fnet.recompute_epochs,
+            "fluid_recompute_flows": fnet.recomputed_flows,
+            "fluid_recompute_fraction": (
+                fnet.recomputed_flows / fnet.live_flow_epochs
+                if fnet.live_flow_epochs else 0.0),
         }
 
 

@@ -87,6 +87,8 @@ def test_quick_run_matches_committed_baseline(tmp_path):
     assert failures == []
     for name in rg._QUICK_SCENARIOS:
         for metric, value in current[name].items():
+            if metric.startswith("wall_") or metric == "solver_speedup":
+                continue   # wall clock varies with the machine
             assert value == baseline["scenarios"][name][metric], \
                 f"{name}.{metric} not bit-identical to the committed baseline"
     out = tmp_path / "bench.json"
@@ -179,6 +181,49 @@ def test_write_baseline_preserves_floors(tmp_path):
     assert data["floors"]["pipeline_depth4_gain"] == 0.42
     assert data["floors"]["batching_record_reduction"] == \
         rg.DEFAULT_FLOORS["batching_record_reduction"]
+
+
+def test_recompute_fraction_ceiling_enforced(baseline):
+    baseline["floors"] = {"incremental_recompute_fraction": 0.25}
+    current = {"incremental_rates": {"des_recompute_fraction": 0.40}}
+    failures = rg.compare_to_baseline(current, baseline)
+    assert any("incremental_rates.des_recompute_fraction" in f
+               and "ceiling" in f for f in failures)
+    current = {"incremental_rates": {"des_recompute_fraction": 0.06}}
+    assert rg.compare_to_baseline(current, baseline) == []
+
+
+def test_solver_speedup_floor_enforced(baseline):
+    baseline["floors"] = {"incremental_solver_speedup": 2.0}
+    current = {"incremental_rates": {"solver_speedup": 1.4,
+                                     "fct_agreement_ok": 1.0}}
+    failures = rg.compare_to_baseline(current, baseline)
+    assert any("incremental_rates.solver_speedup" in f for f in failures)
+    current = {"incremental_rates": {"solver_speedup": 2.3,
+                                     "fct_agreement_ok": 1.0}}
+    assert rg.compare_to_baseline(current, baseline) == []
+
+
+def test_fct_disagreement_always_fails(baseline):
+    # agreement is a hard gate, not a band: any divergence between the
+    # incremental solver and the full/PR 8 reference schedules fails.
+    baseline["floors"] = {"incremental_solver_speedup": 2.0}
+    current = {"incremental_rates": {"solver_speedup": 3.0,
+                                     "fct_agreement_ok": 0.0}}
+    failures = rg.compare_to_baseline(current, baseline)
+    assert any("fct_agreement_ok" in f for f in failures)
+
+
+def test_wall_clock_metrics_excluded_from_band_comparison(baseline):
+    # wall_* and solver_speedup vary with the machine — a slow CI runner
+    # must not trip the tolerance band on them (floors still apply).
+    baseline["scenarios"]["incremental_rates"] = {
+        "wall_incremental_s": 0.5, "wall_legacy_s": 1.0,
+        "solver_speedup": 2.4, "des_recompute_fraction": 0.06}
+    current = {"incremental_rates": {
+        "wall_incremental_s": 5.0, "wall_legacy_s": 1.0,
+        "solver_speedup": 9.9, "des_recompute_fraction": 0.06}}
+    assert rg.compare_to_baseline(current, baseline) == []
 
 
 # -- parallel-run determinism -------------------------------------------------
