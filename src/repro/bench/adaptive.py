@@ -1,0 +1,210 @@
+"""The adaptive-transport regression cell: ``repro bench --regress``
+scenario ``adaptive`` (docs/adaptive.md).
+
+Two deterministic measurements back the committed floors:
+
+* **mixed workload** — four symmetric flows of many small messages plus
+  one large buffer cross a dual-gateway bridge; the
+  :class:`~repro.madeleine.adaptive.TransportPolicy` run (eager small
+  messages + occupancy-balanced gateway choice) must beat the static
+  round-robin run by ``adaptive_mixed_gain`` in aggregate bandwidth while
+  keeping the Jain fairness index of the per-flow bandwidths above
+  ``adaptive_jain_fairness``;
+* **rail loss** — a sequence of reliable striped transfers on the
+  dual-rail testbed loses one rail for good mid-sequence; the policy's
+  fail-fast re-striping must keep the post-loss bandwidth at
+  ``adaptive_recovery_fraction`` of the surviving-rail optimum (the same
+  transfer sequence run on a single-rail world).
+
+Every run builds a pristine world and resets the process-wide id
+counters: the rail-loss cell's recovery path branches on wire content
+that embeds them, and the regress suite promises bit-identical numbers
+between serial and ``--jobs`` runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..faults import FaultPlan, LinkEvent
+from ..hw import build_world
+from ..hw.params import GatewayParams
+from ..madeleine import (ReliableEndpoint, RetryPolicy, Session,
+                         TransportPolicy, reset_global_ids)
+from ..routing import StripePolicy
+
+__all__ = ["adaptive_scenario", "run_mixed_workload", "run_rail_loss"]
+
+#: the documented policy defaults (4 KB eager threshold, 4x/2x re-stripe
+#: hysteresis, occupancy-balanced gateways).
+_POLICY = TransportPolicy()
+
+# -- mixed workload: eager + gateway balancing --------------------------------
+#: each flow: many handshake-bound small messages, then one bulk buffer.
+_SMALL = 2 << 10
+_N_SMALL = 24
+_LARGE = 128 << 10
+#: equal bytes per flow, but half the flows lead with the bulk buffer and
+#: half trail with it — the skew keeps gateway occupancy lumpy, which is
+#: what the balanced rail pick feeds on (a symmetric mix never makes
+#: round-robin suboptimal).
+_MIXED_FLOWS = (
+    (("a0", "b0"), (_LARGE,) + (_SMALL,) * _N_SMALL),
+    (("a1", "b1"), (_SMALL,) * _N_SMALL + (_LARGE,)),
+    (("b0", "a0"), (_LARGE,) + (_SMALL,) * _N_SMALL),
+    (("b1", "a1"), (_SMALL,) * _N_SMALL + (_LARGE,)),
+)
+
+
+def _mixed_session(policy) -> tuple[Session, object]:
+    """Dual-gateway bridge between two 2-endpoint clusters; multirail on,
+    so every pair sees two parallel routes (one per gateway)."""
+    world = build_world({
+        "a0": ["myrinet"], "a1": ["myrinet"],
+        "gw0": ["myrinet", "sci"], "gw1": ["myrinet", "sci"],
+        "b0": ["sci"], "b1": ["sci"],
+    })
+    session = Session(world, packet_size=32 << 10, telemetry=True)
+    ch_a = session.channel("myrinet", ["a0", "a1", "gw0", "gw1"], name="ca")
+    ch_b = session.channel("sci", ["gw0", "gw1", "b0", "b1"], name="cb")
+    vch = session.virtual_channel([ch_a, ch_b], multirail=True,
+                                  transport_policy=policy)
+    return session, vch
+
+
+def run_mixed_workload(policy) -> tuple[float, list[float], Session]:
+    """Drive the four flows to completion; returns (aggregate MB/s,
+    per-flow MB/s in pair order, the finished session)."""
+    reset_global_ids()
+    session, vch = _mixed_session(policy)
+    done: dict[tuple[str, str], float] = {}
+
+    def sender(src: str, dst: str, sizes):
+        ep = vch.endpoint(session.rank(src))
+        dst_rank = session.rank(dst)
+        for n in sizes:
+            msg = ep.begin_packing(dst_rank)
+            yield msg.pack(np.zeros(n, dtype=np.uint8))
+            yield msg.end_packing()
+
+    def receiver(src: str, dst: str, sizes):
+        ep = vch.endpoint(session.rank(dst))
+        for n in sizes:
+            inc = yield ep.begin_unpacking()
+            _ev, _b = inc.unpack(n)
+            yield inc.end_unpacking()
+        done[(src, dst)] = session.now
+
+    for (src, dst), sizes in _MIXED_FLOWS:
+        session.spawn(sender(src, dst, sizes), name=f"mix-snd:{src}")
+        session.spawn(receiver(src, dst, sizes), name=f"mix-rcv:{dst}")
+    session.run()
+    flow_bytes = float(sum(_MIXED_FLOWS[0][1]))
+    per_flow = [flow_bytes / done[pair] for pair, _sizes in _MIXED_FLOWS]
+    aggregate = len(_MIXED_FLOWS) * flow_bytes / max(done.values())
+    return aggregate, per_flow, session
+
+
+def _jain(xs: list[float]) -> float:
+    return sum(xs) ** 2 / (len(xs) * sum(x * x for x in xs))
+
+
+# -- rail loss: fail-fast re-striping -----------------------------------------
+_XFER = 256 << 10
+_N_XFER = 8
+#: bandwidth window: transfers 5..8, fully after the loss and its recovery.
+_MEASURE_FROM = 4
+#: kills rail 1's SCI hop during transfer 2 (clean dual-rail transfers
+#: take ~4.4 ms each), and it never comes back.
+_FAULT_AT = 6_000.0
+#: snappy recovery clocks sized to the ~2.6 ms single-rail attempt, so the
+#: one interrupted transfer retries quickly instead of idling out a
+#: 50 ms default RTO.
+_RETRY = RetryPolicy(rto=8_000.0, rto_max=32_000.0, stall_timeout=3_000.0,
+                     reack_interval=8_000.0, reack_ttl=80_000.0)
+
+
+def _rail_session(rails: int, policy, fault_plan=None) -> tuple[Session, object]:
+    """The MultirailHarness topology (disjoint a0 -> gw{i} -> b0 rails),
+    with striping when more than one rail exists.  The fault plan is armed
+    after the channels exist so its link targets validate."""
+    gws = [f"gw{i}" for i in range(rails)]
+    world = build_world({
+        "a0": ["myrinet"] * rails,
+        **{gw: ["myrinet", "sci"] for gw in gws},
+        "b0": ["sci"] * rails,
+    })
+    session = Session(world, packet_size=16 << 10, telemetry=True)
+    channels = []
+    for i, gw in enumerate(gws):
+        channels.append(session.channel("myrinet", ["a0", gw], name=f"ca{i}",
+                                        adapter_index={"a0": i}))
+        channels.append(session.channel("sci", [gw, "b0"], name=f"cb{i}",
+                                        adapter_index={"b0": i}))
+    if fault_plan is not None:
+        fault_plan.arm(world)
+    stripe = StripePolicy(max_rails=rails) if rails > 1 else None
+    # The bounded gateway stall is what lets a forwarding worker walk away
+    # from the aborted stripe of a dead rail (it never sees a terminating
+    # descriptor) instead of wedging the whole connection behind it.
+    vch = session.virtual_channel(
+        channels, gateway_params=GatewayParams(stall_timeout=5_000.0),
+        stripe_policy=stripe, transport_policy=policy)
+    return session, vch
+
+
+def run_rail_loss(rails: int, policy,
+                  fault_at=None) -> tuple[float, Session]:
+    """Run the reliable transfer sequence; returns the bandwidth of the
+    measurement window (MB/s) and the finished session."""
+    reset_global_ids()
+    plan = None
+    if fault_at is not None:
+        plan = FaultPlan(seed=0,
+                         link_events=(LinkEvent(time=fault_at,
+                                                channel="cb1"),))
+    session, vch = _rail_session(rails, policy, plan)
+    src, dst = session.rank("a0"), session.rank("b0")
+    rel_src = ReliableEndpoint(vch.endpoint(src), _RETRY)
+    rel_dst = ReliableEndpoint(vch.endpoint(dst), _RETRY)
+    payload = bytes(_XFER)
+    times: list[float] = []
+
+    def snd():
+        for _ in range(_N_XFER):
+            yield from rel_src.send(dst, payload)
+
+    def rcv():
+        for _ in range(_N_XFER):
+            yield from rel_dst.recv()
+            times.append(session.now)
+
+    session.spawn(snd(), name="rail-snd")
+    session.spawn(rcv(), name="rail-rcv")
+    session.run()
+    window = times[-1] - times[_MEASURE_FROM - 1]
+    bandwidth = (_N_XFER - _MEASURE_FROM) * _XFER / window
+    return bandwidth, session
+
+
+# -- the regress cell ---------------------------------------------------------
+def adaptive_scenario() -> dict:
+    """All committed numbers of the ``adaptive`` cell."""
+    static_agg, _static_flows, _s = run_mixed_workload(None)
+    adaptive_agg, adaptive_flows, mixed = run_mixed_workload(_POLICY)
+    post_loss, lossy = run_rail_loss(2, _POLICY, fault_at=_FAULT_AT)
+    survivor, _s2 = run_rail_loss(1, _POLICY)
+    m = mixed.metrics
+    return {
+        "static_aggregate_mbs": static_agg,
+        "adaptive_aggregate_mbs": adaptive_agg,
+        "adaptive_mixed_gain": adaptive_agg / static_agg,
+        "adaptive_jain_fairness": _jain(adaptive_flows),
+        "post_loss_mbs": post_loss,
+        "survivor_optimum_mbs": survivor,
+        "adaptive_recovery_fraction": post_loss / survivor,
+        "eager_sends": float(m.total("vchannel.eager_sends")),
+        "balance_moves": float(m.total("gateway.balance_moves")),
+        "restripe_events": float(
+            lossy.metrics.total("vchannel.restripe_events")),
+    }

@@ -76,6 +76,15 @@ DEFAULT_FLOORS = {
     # the PR 8 epoch loop (re-run in the same process, so the ratio is
     # machine-independent).
     "incremental_solver_speedup": 2.0,
+    # the adaptive transport policy (docs/adaptive.md) must keep beating
+    # the static round-robin configuration on the mixed small-heavy
+    # workload by >= 15% aggregate bandwidth ...
+    "adaptive_mixed_gain": 1.15,
+    # ... while sharing it fairly: Jain index of the per-flow bandwidths.
+    "adaptive_jain_fairness": 0.9,
+    # and after a permanent rail loss, fail-fast re-striping must hold the
+    # striped-transfer bandwidth at >= 70% of the surviving-rail optimum.
+    "adaptive_recovery_fraction": 0.7,
 }
 
 #: fig5/fig8 use the paper's balanced configuration: 2 MB over 64 KB paquets.
@@ -343,6 +352,15 @@ def _scenario_incremental_rates() -> dict:
     return incremental_rates_scenario()
 
 
+def _scenario_adaptive() -> dict:
+    """Congestion-aware adaptive transport cell: eager/rendezvous gain +
+    fairness on the mixed workload, and fail-fast re-striping recovery
+    after a permanent rail loss, all held by the ``adaptive_*`` floors
+    (docs/adaptive.md)."""
+    from .adaptive import adaptive_scenario
+    return adaptive_scenario()
+
+
 _SCENARIOS = {
     "fig5": _scenario_fig5,
     "fig5_batched": _scenario_fig5_batched,
@@ -353,6 +371,7 @@ _SCENARIOS = {
     "multirail": _scenario_multirail,
     "sweep_nodes": _scenario_sweep_nodes,
     "incremental_rates": _scenario_incremental_rates,
+    "adaptive": _scenario_adaptive,
     "fig6": _scenario_fig6,
     "fig7": _scenario_fig7,
 }
@@ -361,7 +380,7 @@ _SCENARIOS = {
 #: the runtime); comparison then covers only the scenarios that ran.
 _QUICK_SCENARIOS = ("fig5", "fig5_batched", "fig8", "latency", "pipeline",
                     "batching", "multirail", "sweep_nodes",
-                    "incremental_rates")
+                    "incremental_rates", "adaptive")
 
 
 def _run_scenario(name: str):
@@ -512,6 +531,31 @@ def compare_to_baseline(current: dict, baseline: dict,
                 "incremental_rates.fct_agreement_ok: the incremental "
                 "solver's completion times diverged from the full "
                 "recomputation (or from the PR 8 reference loop)")
+    mixed_floor = floors.get("adaptive_mixed_gain")
+    if mixed_floor is not None and "adaptive" in current:
+        gain = current["adaptive"].get("adaptive_mixed_gain", 0.0)
+        if gain < mixed_floor - 1e-9:
+            failures.append(
+                f"adaptive.adaptive_mixed_gain: {gain:.2f}x is below the "
+                f"committed floor ({mixed_floor:.2f}x) — the adaptive "
+                f"transport stopped beating the static configuration on "
+                f"the mixed workload")
+    jain_floor = floors.get("adaptive_jain_fairness")
+    if jain_floor is not None and "adaptive" in current:
+        jain = current["adaptive"].get("adaptive_jain_fairness", 0.0)
+        if jain < jain_floor - 1e-9:
+            failures.append(
+                f"adaptive.adaptive_jain_fairness: {jain:.3f} is below the "
+                f"committed floor ({jain_floor:.2f}) — the adaptive policy "
+                f"is starving some flows to win its aggregate gain")
+    rec_floor = floors.get("adaptive_recovery_fraction")
+    if rec_floor is not None and "adaptive" in current:
+        frac = current["adaptive"].get("adaptive_recovery_fraction", 0.0)
+        if frac < rec_floor - 1e-9:
+            failures.append(
+                f"adaptive.adaptive_recovery_fraction: {frac:.2f} is below "
+                f"the committed floor ({rec_floor:.2f}) — post-rail-loss "
+                f"bandwidth fell away from the surviving-rail optimum")
     return failures
 
 

@@ -421,7 +421,8 @@ def cmd_solve(args) -> int:
     if args.validate:
         from .solver import validate as sv
         result = sv.run_validate(
-            progress=lambda n: print(f"  running {n} ...", flush=True))
+            progress=lambda n: print(f"  running {n} ...", flush=True),
+            jobs=args.jobs)
         baseline_path = pathlib.Path(args.baseline)
         if args.update_baseline:
             sv.write_validate_baseline(result, baseline_path)
@@ -515,7 +516,8 @@ def cmd_fuzz(args) -> int:
         time_budget=args.time_budget,
         minimize=not args.no_minimize,
         out_dir=args.out_dir,
-        progress=lambda msg: print(msg, flush=True))
+        progress=lambda msg: print(msg, flush=True),
+        jobs=args.jobs)
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -656,6 +658,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="validation baseline JSON path")
     p.add_argument("--out", default="",
                    help="also write the result as JSON to this path")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="with --validate: run the DES cells in a "
+                        "multiprocessing pool of N workers (identical "
+                        "numbers, per-cell wall clock kept for the "
+                        "speedup figure)")
     p.set_defaults(fn=cmd_solve)
 
     p = sub.add_parser(
@@ -681,6 +688,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="campaign mode: save failures unminimized")
     p.add_argument("--out-dir", default="fuzz-corpus", metavar="DIR",
                    help="directory for repro files of failing scenarios")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="campaign mode: run scenarios in a multiprocessing "
+                        "pool of N workers (independent random draws per "
+                        "seed; disables corpus-guided mutation)")
     p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser(

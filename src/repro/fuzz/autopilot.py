@@ -51,36 +51,48 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+def _random_run(seed: int):
+    """Module-level (picklable) pool worker: execute one fresh random
+    scenario.  A pure function of the seed, so a failing seed replays
+    identically whatever the worker count was."""
+    return run_scenario(random_scenario(seed))
+
+
 def run_campaign(runs: int = 100, seed_base: int = 0,
                  time_budget: Optional[float] = None,
                  minimize: bool = True,
                  out_dir: Optional[pathlib.Path] = None,
                  progress: Optional[Callable[[str], None]] = None,
+                 jobs: Optional[int] = None,
                  ) -> CampaignReport:
     """Run up to ``runs`` scenarios (stopping early on ``time_budget``
-    seconds), minimizing and saving each failure under ``out_dir``."""
+    seconds), minimizing and saving each failure under ``out_dir``.
+
+    ``jobs > 1`` spreads the runs over a ``multiprocessing`` pool.  Each
+    worker executes an independent ``random_scenario(seed_base + i)`` —
+    the corpus-guided mutation loop feeds on previous results and is a
+    serial-mode feature — while minimization and repro writing still
+    happen serially in the parent.  Coverage bookkeeping is identical;
+    only the scenario mix differs (all fresh draws, no mutants).
+    """
     say = progress or (lambda _msg: None)
     report = CampaignReport()
-    corpus: list[Scenario] = []     # coverage-novel scenarios to mutate
-    rng = random.Random(seed_base)
     t0 = time.monotonic()
-    for i in range(runs):
+
+    def out_of_time() -> bool:
         if time_budget is not None and time.monotonic() - t0 > time_budget:
             say(f"time budget ({time_budget:.0f}s) exhausted after "
                 f"{report.runs} runs")
-            break
-        seed = seed_base + i
-        if corpus and rng.random() < 0.5:
-            scenario = mutate_scenario(rng.choice(corpus), seed)
-        else:
-            scenario = random_scenario(seed)
-        result = run_scenario(scenario)
+            return True
+        return False
+
+    def bookkeep(i: int, scenario: Scenario, result) -> bool:
+        """Common per-result accounting; True when coverage-novel."""
         report.runs += 1
         novel = result.features - report.features
         if novel:
             report.features |= result.features
             report.interesting += 1
-            corpus.append(scenario)
             say(f"[{i}] {scenario.describe()} -> +{len(novel)} feature(s)")
         if not result.ok:
             say(f"[{i}] FAILURE {result.failures[0]} "
@@ -103,5 +115,31 @@ def run_campaign(runs: int = 100, seed_base: int = 0,
                  final.failures[0].invariant if final.failures
                  else result.failures[0].invariant,
                  str(path) if path else None))
+        return bool(novel)
+
+    if jobs and jobs > 1:
+        import multiprocessing as mp
+        with mp.Pool(min(jobs, runs)) as pool:
+            seeds = range(seed_base, seed_base + runs)
+            for i, result in enumerate(pool.imap(_random_run, seeds)):
+                if out_of_time():
+                    break
+                bookkeep(i, result.scenario, result)
+        report.elapsed = time.monotonic() - t0
+        return report
+
+    corpus: list[Scenario] = []     # coverage-novel scenarios to mutate
+    rng = random.Random(seed_base)
+    for i in range(runs):
+        if out_of_time():
+            break
+        seed = seed_base + i
+        if corpus and rng.random() < 0.5:
+            scenario = mutate_scenario(rng.choice(corpus), seed)
+        else:
+            scenario = random_scenario(seed)
+        result = run_scenario(scenario)
+        if bookkeep(i, scenario, result):
+            corpus.append(scenario)
     report.elapsed = time.monotonic() - t0
     return report

@@ -63,7 +63,9 @@ _FEATURE_COUNTERS = (
     "gateway.credit_stalls", "gateway.items_forwarded",
     "reliable.retransmits", "reliable.deliveries", "reliable.acks_received",
     "vchannel.failovers", "vchannel.stripes_sent",
-    "vchannel.stripes_reassembled", "pool.acquire_waits",
+    "vchannel.stripes_reassembled", "vchannel.eager_sends",
+    "vchannel.restripe_events", "gateway.balance_moves",
+    "pool.acquire_waits",
 )
 
 
@@ -364,7 +366,8 @@ class _Run:
         feats = {f"topo:{scenario.topology.kind}",
                  f"batch:{scenario.header_batching}",
                  f"stripe:{scenario.stripe is not None}",
-                 f"multirail:{scenario.multirail}"}
+                 f"multirail:{scenario.multirail}",
+                 f"adaptive:{scenario.adaptive is not None}"}
         if scenario.traffic is not None:
             feats.add(f"traffic:{scenario.traffic.pattern}")
         if scenario.pipeline is not None:

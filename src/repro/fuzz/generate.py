@@ -22,6 +22,18 @@ __all__ = ["random_scenario", "mutate_scenario"]
 _PROTOS = ("myrinet", "sci", "sbp", "gigabit_tcp", "fast_ethernet")
 _PACKET_SIZES = (4 << 10, 8 << 10, 16 << 10, 32 << 10)
 _MAX_MSG_BYTES = 120_000
+#: eager thresholds for the adaptive transport policy: 0 keeps eager off
+#: while still exercising re-striping/balancing, the rest bracket the
+#: generated message sizes so both eager and rendezvous paths get traffic.
+_EAGER_THRESHOLDS = (0, 256, 1 << 10, 4 << 10, 16 << 10)
+
+
+def _draw_adaptive(rng: random.Random) -> tuple:
+    """(eager_threshold, restripe_high, restripe_low, gateway_balance) with
+    the schema's high > low >= 1 hysteresis invariant held by construction."""
+    low = round(rng.uniform(1.0, 3.0), 2)
+    high = round(low + rng.uniform(0.5, 4.0), 2)
+    return (rng.choice(_EAGER_THRESHOLDS), high, low, rng.random() < 0.7)
 
 
 def _chain_topology(rng: random.Random) -> Topology:
@@ -121,6 +133,7 @@ def random_scenario(seed: int) -> Scenario:
     stripe = None
     if topo.kind == "multirail" and rng.random() < 0.4:
         stripe = (rng.randint(2, topo.rails), 4 << 10)
+    adaptive = _draw_adaptive(rng) if rng.random() < 0.35 else None
     scenario = Scenario(
         seed=seed,
         topology=topo,
@@ -129,6 +142,7 @@ def random_scenario(seed: int) -> Scenario:
         multirail=(stripe is None and parallel and rng.random() < 0.4),
         pipeline=pipeline,
         stripe=stripe,
+        adaptive=adaptive,
         messages=_draw_messages(rng, topo, quiet),
         faults=faults,
         max_attempts=rng.randint(6, 10),
@@ -141,7 +155,7 @@ def random_scenario(seed: int) -> Scenario:
 # -- mutation -------------------------------------------------------------------
 def _mutate_once(rng: random.Random, s: Scenario) -> Optional[Scenario]:
     """One structural tweak; None when the chosen op is inapplicable."""
-    op = rng.randrange(10)
+    op = rng.randrange(11)
     if op == 0 and s.messages:                       # resize a message
         i = rng.randrange(len(s.messages))
         m = s.messages[i]
@@ -185,6 +199,10 @@ def _mutate_once(rng: random.Random, s: Scenario) -> Optional[Scenario]:
         return s.with_(seed=rng.randrange(1 << 30))
     if op == 9:                                      # fresh topology, same knobs
         return None
+    if op == 10:                                     # redraw adaptive policy
+        if s.adaptive is not None and rng.random() < 0.3:
+            return s.with_(adaptive=None)
+        return s.with_(adaptive=_draw_adaptive(rng))
     return None
 
 

@@ -18,6 +18,7 @@ Layering (Figure 1 + the paper's extension):
 
 import itertools
 
+from .adaptive import TransportPolicy
 from .bmm import UnpackMismatch, split_fragments
 from .channel import Endpoint, RealChannel
 from .endpoint import MessageEndpoint
@@ -31,10 +32,13 @@ from .reliable import ReliableEndpoint, RetryPolicy
 from .session import Session
 from .stripe import StripedIncoming, StripedOutgoing
 from .vchannel import DEFAULT_PACKET_SIZE, VChannelEndpoint, VirtualChannel
-from .wire import (ANNOUNCE_BYTES, DESC_BYTES, MODE_GTM, MODE_REGULAR,
-                   STRIPE_BYTES, Announce, Descriptor, StripeRecord,
-                   decode_announce, decode_descriptor, decode_stripe,
-                   encode_announce, encode_descriptor, encode_stripe)
+from .wire import (ANNOUNCE_BYTES, DESC_BYTES, EAGER_ENTRY_BYTES,
+                   EAGER_HDR_BYTES, MODE_GTM, MODE_REGULAR, STRIPE_BYTES,
+                   Announce, Descriptor, EagerEntry, EagerRecord,
+                   StripeRecord, decode_announce, decode_descriptor,
+                   decode_eager, decode_stripe, eager_record_bytes,
+                   encode_announce, encode_descriptor, encode_eager,
+                   encode_stripe)
 
 def reset_global_ids() -> None:
     """Restart the process-wide id counters (messages, transfers, stripes,
@@ -61,6 +65,7 @@ def reset_global_ids() -> None:
 
 __all__ = [
     "reset_global_ids",
+    "TransportPolicy",
     "UnpackMismatch", "split_fragments",
     "Endpoint", "RealChannel", "MessageEndpoint",
     "RECV_CHEAPER", "RECV_EXPRESS", "SEND_CHEAPER", "SEND_LATER",
@@ -73,8 +78,10 @@ __all__ = [
     "Session",
     "StripedIncoming", "StripedOutgoing",
     "DEFAULT_PACKET_SIZE", "VChannelEndpoint", "VirtualChannel",
-    "ANNOUNCE_BYTES", "DESC_BYTES", "MODE_GTM", "MODE_REGULAR",
-    "STRIPE_BYTES", "Announce", "Descriptor", "StripeRecord",
-    "decode_announce", "decode_descriptor", "decode_stripe",
-    "encode_announce", "encode_descriptor", "encode_stripe",
+    "ANNOUNCE_BYTES", "DESC_BYTES", "EAGER_ENTRY_BYTES", "EAGER_HDR_BYTES",
+    "MODE_GTM", "MODE_REGULAR", "STRIPE_BYTES", "Announce", "Descriptor",
+    "EagerEntry", "EagerRecord", "StripeRecord",
+    "decode_announce", "decode_descriptor", "decode_eager", "decode_stripe",
+    "eager_record_bytes", "encode_announce", "encode_descriptor",
+    "encode_eager", "encode_stripe",
 ]

@@ -120,6 +120,9 @@ class ForwardingWorker:
         #: occupancy the paper's double-buffer argument is about.
         self._g_occupancy = m.gauge("gateway.occupancy", gw=gw_rank,
                                     channel=in_channel.id)
+        #: plain mirror of the occupancy gauge, read by the adaptive
+        #: transport policy as its gateway-load signal (no telemetry query).
+        self.staged_items = 0
         self._h_swap = m.histogram("gateway.swap_us", gw=gw_rank)
         #: receive-thread waits for a returned credit (the send side is the
         #: pipeline bottleneck at that instant).
@@ -243,6 +246,7 @@ class ForwardingWorker:
         # static-copy hand-over in _transmit_item), so the occupancy gauge
         # stays balanced on all abandon paths too.
         self._g_occupancy.dec()
+        self.staged_items -= 1
         if pool is not None:
             pool.release(buffer)
 
@@ -364,6 +368,7 @@ class ForwardingWorker:
         staging, pool = yield from self._acquire_staging(
             in_tm, out_tm, announce.mtu)
         self._g_occupancy.inc()
+        self.staged_items += 1
         # §4 future work: regulate the incoming flow — delay the next posted
         # receive so the accepted ingress rate stays under the limit.
         limit = self.params.ingress_limit
@@ -393,7 +398,11 @@ class ForwardingWorker:
                         gw=self.gw_rank, msg=announce.msg_id, seq=seq,
                         nbytes=n, start=t0, kind=meta.get("type"))
         last = False
-        if meta.get("type") == "desc":
+        if meta.get("type") == "eagr":
+            # An eager message's whole body is this single record; there is
+            # no terminating descriptor to wait for.
+            last = True
+        elif meta.get("type") == "desc":
             try:
                 last = decode_descriptor(
                     staging.view(0, DESC_BYTES).tobytes()).is_terminator

@@ -28,10 +28,11 @@ from ..memory import Buffer
 from ..sim import Event
 from .bmm import UnpackMismatch, split_fragments
 from .flags import RecvMode, SendMode, validate_modes
-from .message import _ExecutorMixin, _as_buffer
-from .wire import (DESC_BYTES, MODE_GTM, STRIPE_BYTES, Announce, Descriptor,
-                   StripeRecord, decode_descriptor, decode_stripe,
-                   encode_descriptor, encode_stripe)
+from .message import MessageStateError, _ExecutorMixin, _as_buffer
+from .wire import (DESC_BYTES, EAGER_HDR_BYTES, MODE_GTM, STRIPE_BYTES,
+                   Announce, Descriptor, StripeRecord, decode_descriptor,
+                   decode_eager, decode_stripe, eager_record_bytes,
+                   encode_descriptor, encode_eager_table, encode_stripe)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .channel import Endpoint
@@ -51,7 +52,8 @@ class GTMOutgoing(_ExecutorMixin):
     """Packs a message onto the first hop of a multi-network route."""
 
     def __init__(self, vchannel: "VirtualChannel", src: int, dst: int,
-                 route=None, stripe: Optional[StripeRecord] = None) -> None:
+                 route=None, stripe: Optional[StripeRecord] = None,
+                 eager_threshold: int = 0) -> None:
         route = route if route is not None else vchannel.routes.route(src, dst)
         if len(route) < 2 and stripe is None:
             raise ValueError("GTM is only used for forwarded messages")
@@ -84,12 +86,25 @@ class GTMOutgoing(_ExecutorMixin):
         self._init_executor(self.tm.channel.sim, f"gtm-out:{self.msg_id}")
         # One in-flight message per (first-hop) connection, as in Madeleine.
         lock = wire_channel.endpoint(src).connection_lock(hop0.dst)
+        self._lock = lock
+        self._hops_left = len(route) - 1
         self._finished.add_callback(lambda _ev: lock.release())
-        announce = Announce(mode=MODE_GTM, origin=src, final_dst=dst,
-                            mtu=self.mtu, msg_id=self.msg_id,
-                            hops_left=len(route) - 1, batched=self.batched,
-                            striped=stripe is not None)
-        self._submit(self._announce_op(lock, announce))
+        #: adaptive eager/rendezvous switch: while this is a list the
+        #: message has not committed to a wire path — packs accumulate here
+        #: and the announce is withheld until the size decision is made.
+        self._eager_pending: Optional[list] = None
+        if eager_threshold > 0 and stripe is None:
+            self._eager_budget = min(eager_threshold, self.mtu)
+            if self._eager_budget >= EAGER_HDR_BYTES:
+                self._eager_pending = []
+                return
+        self._submit(self._announce_op(lock, self._rendezvous_announce()))
+
+    def _rendezvous_announce(self) -> Announce:
+        return Announce(mode=MODE_GTM, origin=self.src, final_dst=self.dst,
+                        mtu=self.mtu, msg_id=self.msg_id,
+                        hops_left=self._hops_left, batched=self.batched,
+                        striped=self.stripe is not None)
 
     def _announce_op(self, lock, announce: Announce):
         yield lock.acquire()
@@ -106,9 +121,14 @@ class GTMOutgoing(_ExecutorMixin):
     def pack(self, data, smode: SendMode = SendMode.CHEAPER,
              rmode: RecvMode = RecvMode.CHEAPER) -> Event:
         buf = _as_buffer(data)
+        if self._eager_pending is not None:
+            return self._pack_eager(buf, SendMode(smode), RecvMode(rmode))
         return self._submit(self._op_pack(buf, SendMode(smode), RecvMode(rmode)))
 
     def end_packing(self) -> Event:
+        if self._eager_pending is not None:
+            pending, self._eager_pending = self._eager_pending, None
+            return self._submit_final(self._op_eager_finalize(pending))
         return self._submit_final(self._op_finalize())
 
     def abort(self) -> None:
@@ -117,6 +137,83 @@ class GTMOutgoing(_ExecutorMixin):
         self.aborted = True
         self.tm.channel.fabric.blackhole_pending_sends(
             self.tm.channel.id, self.msg_id)
+
+    # -- eager path (adaptive transport) -----------------------------------------
+    def _pack_eager(self, buf: Buffer, smode: SendMode, rmode: RecvMode) -> Event:
+        """Buffer a pack while the message is still an eager candidate.
+
+        The bytes are emitted as one wire record at :meth:`end_packing`; if
+        the accumulated record would outgrow the eager budget, the message
+        commits to the rendezvous path instead and the buffered packs are
+        replayed through the regular ops, in order.
+        """
+        if self._closed:
+            raise MessageStateError("message already finalized")
+        validate_modes(smode, rmode)
+        if smode == SendMode.SAFER and not self.tm.protocol.tx_static:
+            shadow = Buffer.alloc(len(buf), label="gtm.safer")
+            shadow.copy_from(buf, self.accounting, self.sim.now, "gtm.safer")
+            buf = shadow
+        self._eager_pending.append((buf, smode, rmode))
+        if (eager_record_bytes(len(b) for b, _s, _r in self._eager_pending)
+                > self._eager_budget):
+            self._switch_to_rendezvous()
+        # The pack is accepted at once: emission happens at end_packing
+        # (eager) or was just replayed onto the executor (rendezvous).
+        ev = self.sim.event(name=f"gtm-out:{self.msg_id}.eagerpack")
+        ev.succeed()
+        return ev
+
+    def _switch_to_rendezvous(self) -> None:
+        pending, self._eager_pending = self._eager_pending, None
+        self._submit(self._announce_op(self._lock, self._rendezvous_announce()))
+        for buf, smode, rmode in pending:
+            ev = self._submit(self._op_pack(buf, smode, rmode))
+            # Nobody waits on replayed pack events; keep a failure (abort
+            # during emission) from escaping through the kernel.
+            ev.add_callback(lambda e: None if e.ok else e.defuse())
+
+    def _op_eager_finalize(self, pending):
+        # The receiver consumes LATER unpacks at end_unpacking: order the
+        # record the way the receiving side will read it.
+        pending = ([e for e in pending if e[1] != SendMode.LATER]
+                   + [e for e in pending if e[1] == SendMode.LATER])
+        yield self._lock.acquire()
+        if self.aborted:
+            return
+        announce = Announce(mode=MODE_GTM, origin=self.src,
+                            final_dst=self.dst, mtu=self.mtu,
+                            msg_id=self.msg_id, hops_left=self._hops_left,
+                            eager=True)
+        yield self.tm.send_announce(self.hop_dst, announce)
+        table = encode_eager_table((len(buf), smode, rmode)
+                                   for buf, smode, rmode in pending)
+        total = len(table) + sum(len(buf) for buf, _s, _r in pending)
+        if self.tm.protocol.tx_static:
+            block = yield self.tm.tx_pool.acquire()
+            if self.aborted:
+                self.tm.tx_pool.release(block)
+                return
+            target = block
+        else:
+            block = None
+            target = Buffer.alloc(total, label="gtm.eager")
+        target.view(0, len(table)).copy_from(
+            Buffer.wrap(table), self.accounting, self.sim.now, "gtm.eager")
+        off = len(table)
+        for buf, _smode, _rmode in pending:
+            if len(buf):
+                target.view(off, off + len(buf)).copy_from(
+                    buf, self.accounting, self.sim.now, "gtm.eager")
+            off += len(buf)
+        ev = self._send(target.view(0, total), meta={"type": "eagr"})
+        if block is not None:
+            pool = self.tm.tx_pool
+            ev.add_callback(lambda _e, b=block: pool.release(b))
+        self._send_events.append(ev)
+        self.vchannel._m_eager_sends.inc()
+        yield self.sim.all_of(self._send_events)
+        self._send_events.clear()
 
     # -- ops ---------------------------------------------------------------------
     def _op_pack(self, buf: Buffer, smode: SendMode, rmode: RecvMode):
@@ -233,6 +330,25 @@ class GTMIncoming(_ExecutorMixin):
         self.aborted = False
         self._init_executor(self.tm.channel.sim, f"gtm-in:{self.msg_id}")
         self._abort_ev = self.sim.event(name=f"gtm-in:{self.msg_id}.abort")
+        self.eager = announce.eager
+        self._eager_rec = None
+        self._eager_idx = 0
+        if self.eager:
+            # The whole body is one wire record; fetch it ahead of any
+            # unpack op (the executor runs ops strictly in order, so every
+            # later op sees the decoded record).
+            ev = self._submit(self._op_recv_eager())
+            ev.add_callback(self._eager_fetched)
+
+    def _eager_fetched(self, ev: Event) -> None:
+        if ev.ok:
+            return
+        if self.aborted or isinstance(ev.value, _UnpackAborted):
+            # Recovery code abandoned the message; nobody waits on the
+            # constructor-submitted fetch, so swallow its failure.
+            ev.defuse()
+        # Otherwise (malformed record on a clean wire) the failure escapes
+        # through the kernel — loud, like any other protocol mismatch.
 
     # -- public interface ----------------------------------------------------
     def unpack(self, nbytes: Optional[int] = None,
@@ -309,7 +425,58 @@ class GTMIncoming(_ExecutorMixin):
             return
         yield from self._consume(buf)
 
+    def _op_recv_eager(self):
+        """Receive the single eager wire record (entry table + payloads)."""
+        if self.tm.protocol.rx_static:
+            block = yield from self._wait_acquire(self.tm.rx_pool)
+            post = self.tm.post_item(self.hop_src, block,
+                                     capacity=len(block),
+                                     msg_id=self.msg_id)
+            meta, n = yield from self._wait_post(post, block,
+                                                 self.tm.rx_pool)
+            try:
+                if meta.get("type") != "eagr":
+                    raise UnpackMismatch(
+                        f"expected an 'eagr' item, got {meta.get('type')!r}")
+                raw = block.view(0, n).tobytes()
+            finally:
+                self.tm.rx_pool.release(block)
+        else:
+            cap = max(self.mtu, EAGER_HDR_BYTES)
+            dbuf = Buffer.alloc(cap, label="gtm.eager")
+            post = self.tm.post_item(self.hop_src, dbuf, capacity=cap,
+                                     msg_id=self.msg_id)
+            meta, n = yield from self._wait_post(post, None, None)
+            if meta.get("type") != "eagr":
+                raise UnpackMismatch(
+                    f"expected an 'eagr' item, got {meta.get('type')!r}")
+            raw = dbuf.view(0, n).tobytes()
+        try:
+            self._eager_rec = decode_eager(raw)
+        except ValueError as exc:
+            raise UnpackMismatch(f"malformed eager record: {exc}") from exc
+
+    def _consume_eager(self, buf: Buffer):
+        rec = self._eager_rec
+        if rec is None or self._eager_idx >= len(rec.entries):
+            raise UnpackMismatch(
+                "eager record carries fewer buffers than were unpacked")
+        entry = rec.entries[self._eager_idx]
+        self._eager_idx += 1
+        if len(entry.data) != len(buf):
+            raise UnpackMismatch(
+                f"eager entry carries {len(entry.data)}B but unpack "
+                f"expects {len(buf)}B")
+        if len(buf):
+            buf.copy_from(Buffer.wrap(entry.data), self.accounting,
+                          self.sim.now, "gtm.deliver")
+        return
+        yield  # pragma: no cover - generator form; consuming never waits
+
     def _consume(self, buf: Buffer):
+        if self.eager:
+            yield from self._consume_eager(buf)
+            return
         if self.batched:
             head = yield from self._recv_batched_head(buf)
         else:
@@ -444,6 +611,13 @@ class GTMIncoming(_ExecutorMixin):
         for buf in self._deferred:
             yield from self._consume(buf)
         self._deferred.clear()
+        if self.eager:
+            rec = self._eager_rec
+            left = (len(rec.entries) if rec is not None else 0) - self._eager_idx
+            if left:
+                raise UnpackMismatch(
+                    f"message carries {left} more buffers than were unpacked")
+            return
         desc = yield from self._recv_desc()
         if not desc.is_terminator:
             raise UnpackMismatch(

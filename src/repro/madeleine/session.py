@@ -50,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..faults.plan import FaultPlan
     from ..routing import StripePolicy
     from ..scenario import Scenario
+    from .adaptive import TransportPolicy
 
 __all__ = ["Session"]
 
@@ -114,6 +115,14 @@ class Session:
             from ..routing import StripePolicy
             stripe = StripePolicy(max_rails=scenario.stripe[0],
                                   min_stripe=scenario.stripe[1])
+        adaptive = None
+        if scenario.adaptive is not None:
+            from .adaptive import TransportPolicy
+            eager, high, low, balance = scenario.adaptive
+            adaptive = TransportPolicy(eager_threshold=eager,
+                                       restripe_high=high,
+                                       restripe_low=low,
+                                       gateway_balance=balance)
         session.virtual_channel(
             channels,
             gateway_params=GatewayParams(
@@ -121,7 +130,8 @@ class Session:
             multirail=scenario.multirail,
             header_batching=scenario.header_batching,
             pipeline=pipeline,
-            stripe_policy=stripe)
+            stripe_policy=stripe,
+            transport_policy=adaptive)
         return session
 
     # -- lifecycle ---------------------------------------------------------------
@@ -199,6 +209,7 @@ class Session:
                         header_batching: bool = False,
                         pipeline: Optional["PipelineConfig"] = None,
                         stripe_policy: Optional["StripePolicy"] = None,
+                        transport_policy: Optional["TransportPolicy"] = None,
                         ) -> VirtualChannel:
         """Bundle real channels into a virtual channel with transparent
         forwarding on every gateway node (``multirail`` spreads messages
@@ -207,7 +218,9 @@ class Session:
         payload fragments, §2.3; ``pipeline`` configures the N-deep
         credit-based gateway pipeline and the adaptive fragment tuner;
         ``stripe_policy`` enables transparent multirail striping — large
-        paquets split across disjoint rails for aggregate bandwidth).
+        paquets split across disjoint rails for aggregate bandwidth;
+        ``transport_policy`` turns on the congestion-aware adaptive
+        transport, docs/adaptive.md).
         ``packet_size=None`` uses the session default."""
         self._check_open()
         vch = VirtualChannel(channels,
@@ -218,7 +231,8 @@ class Session:
                              multirail=multirail,
                              header_batching=header_batching,
                              pipeline=pipeline,
-                             stripe_policy=stripe_policy)
+                             stripe_policy=stripe_policy,
+                             transport_policy=transport_policy)
         self.virtual_channels.append(vch)
         return vch
 

@@ -72,6 +72,9 @@ class StripedOutgoing:
         self.stripe_id = next(_stripe_ids)
         self.aborted = False
         total = len(rails)
+        #: the rails' routes, kept for the adaptive policy's health checks
+        #: (which stripes ride a channel that just died).
+        self.rail_routes = [list(route) for route in rails]
         self.rails = [
             GTMOutgoing(vchannel, src, dst, route=route,
                         stripe=StripeRecord(stripe_id=self.stripe_id,
@@ -79,6 +82,9 @@ class StripedOutgoing:
             for i, route in enumerate(rails)]
         self.msg_id = self.rails[0].msg_id
         vchannel._m_stripes_sent.inc(total)
+        if vchannel.transport_policy is not None:
+            # Fail-fast registry: a rail loss aborts this transfer at once.
+            vchannel._live_stripes.add(self)
 
     def pack(self, data, smode: SendMode = SendMode.CHEAPER,
              rmode: RecvMode = RecvMode.CHEAPER) -> Event:
@@ -88,6 +94,7 @@ class StripedOutgoing:
         descriptor streams stay in lockstep with the reassembly.
         """
         buf = _as_buffer(data)
+        self.vchannel._maybe_restripe(self.scheduler)
         chunks = self.scheduler.plan(len(buf))
         events = []
         off = 0
@@ -106,11 +113,16 @@ class StripedOutgoing:
 
     def end_packing(self) -> Event:
         """Event triggering once every rail's stripe has fully flushed."""
-        return self.sim.all_of([rail.end_packing() for rail in self.rails])
+        ev = self.sim.all_of([rail.end_packing() for rail in self.rails])
+        if self.vchannel.transport_policy is not None:
+            ev.add_callback(
+                lambda _e: self.vchannel._live_stripes.discard(self))
+        return ev
 
     def abort(self) -> None:
         """Stop emitting on every rail (fault recovery)."""
         self.aborted = True
+        self.vchannel._live_stripes.discard(self)
         for rail in self.rails:
             rail.abort()
 

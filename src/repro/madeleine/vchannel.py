@@ -26,6 +26,7 @@ from ..routing import (RouteTable, StripePolicy, StripeScheduler,
                        disjoint_routes, gateway_ranks, negotiate_mtu,
                        tune_fragment_size)
 from ..sim import Event, Queue
+from .adaptive import TransportPolicy, apply_restripe
 from .bmm import UnpackMismatch
 from .channel import RealChannel
 from .endpoint import MessageEndpoint
@@ -160,7 +161,8 @@ class VirtualChannel:
                  name: str = "", multirail: bool = False,
                  header_batching: bool = False,
                  pipeline: Optional[PipelineConfig] = None,
-                 stripe_policy: Optional[StripePolicy] = None) -> None:
+                 stripe_policy: Optional[StripePolicy] = None,
+                 transport_policy: Optional[TransportPolicy] = None) -> None:
         if not channels:
             raise ValueError("a virtual channel needs at least one real channel")
         worlds = {id(ch.world) for ch in channels}
@@ -235,6 +237,23 @@ class VirtualChannel:
             "vchannel.stripe_reassembly_depth",
             bounds=(1.0, 2.0, 4.0, 8.0), vchannel=self.name)
         self._rail_gauges: dict[int, object] = {}
+        #: congestion-aware adaptive transport (docs/adaptive.md); None
+        #: (the default) keeps every wire decision exactly as before.
+        self.transport_policy = transport_policy
+        #: policy-gated fail-fast registry: striped sends in flight, so a
+        #: rail loss aborts them at once instead of riding out the
+        #: reliable layer's stall bound.
+        self._live_stripes: set[StripedOutgoing] = set()
+        self._m_eager_sends = m.counter("vchannel.eager_sends",
+                                        vchannel=self.name)
+        #: weight moves (suspensions + readmissions + fail-fast aborts)
+        #: applied by the adaptive re-striping policy.
+        self._m_restripe_events = m.counter("vchannel.restripe_events",
+                                            vchannel=self.name)
+        #: multirail messages steered off their round-robin rail by
+        #: gateway-occupancy feedback.
+        self._m_balance_moves = m.counter("gateway.balance_moves",
+                                          vchannel=self.name)
         self.gateways = gateway_ranks(self.channels)
         self.workers: list[ForwardingWorker] = []
         for gw in self.gateways:
@@ -267,6 +286,8 @@ class VirtualChannel:
         if kind == "link_down":
             self.routes.mark_down(subject)
             self._m_failovers.inc()
+            if self.transport_policy is not None:
+                self._fail_fast_stripes(subject)
         elif kind == "link_up":
             self.routes.mark_up(subject)
         elif kind == "node_down":
@@ -278,6 +299,42 @@ class VirtualChannel:
         elif kind == "node_up":
             self.routes.mark_node_up(subject)
             self._revive_rank(subject)
+
+    def _fail_fast_stripes(self, channel) -> None:
+        """Policy-gated rail-loss recovery: abort striped transfers that
+        have a stripe riding the dead channel.
+
+        A dead link drops even the 16-byte lockstep records, so re-weighting
+        cannot rescue a message already striped over it.  Aborting makes the
+        sender blackhole its remaining stripes and the receiver short-ACK at
+        once, so the reliable layer resends immediately — re-planned on the
+        surviving rails via the generation-keyed stripe cache — instead of
+        riding out its stall bound.  Incomplete receive groups are also
+        abandoned: mid-fault they are exactly the ones about to stall.
+        """
+        cid = channel if isinstance(channel, str) else channel.id
+        for out in list(self._live_stripes):
+            if any(hop.channel.id == cid
+                   for rail in out.rail_routes for hop in rail):
+                self._live_stripes.discard(out)
+                out.abort()
+                self._m_restripe_events.inc()
+        for ep in self._endpoints.values():
+            for key, group in list(ep._stripe_groups.items()):
+                del ep._stripe_groups[key]
+                group.abort()
+                self._m_restripe_events.inc()
+
+    def _maybe_restripe(self, scheduler: StripeScheduler) -> None:
+        """Per-paquet hook from :class:`StripedOutgoing`: re-weight the
+        rail set when the policy says so.  A ``None`` policy returns
+        before touching anything, so plain runs stay bit-identical."""
+        pol = self.transport_policy
+        if pol is None:
+            return
+        moved = apply_restripe(pol, scheduler, self)
+        if moved:
+            self._m_restripe_events.inc(moved)
 
     def _revive_rank(self, rank: int) -> None:
         """Bring a restarted node back: flush stale state queued at its
@@ -398,6 +455,8 @@ class VirtualChannel:
                        dst: int) -> Union[OutgoingMessage, GTMOutgoing, StripedOutgoing]:
         """Start a message; the real channel (and whether the GTM is needed)
         is chosen from the route, §2.2.1."""
+        pol = self.transport_policy
+        eager = pol.eager_threshold if pol is not None else 0
         if self.stripe_policy is not None:
             rails, scheduler = self._stripe_rails(src, dst)
             if scheduler is not None:
@@ -413,8 +472,33 @@ class VirtualChannel:
                 # stagger the starting rail per pair so traffic to different
                 # destinations spreads across the gateways immediately
                 pick = (i + src + dst) % len(rails)
-                return GTMOutgoing(self, src, dst, route=rails[pick])
-        return GTMOutgoing(self, src, dst)
+                if pol is not None and pol.gateway_balance:
+                    pick = self._balanced_pick(rails, pick)
+                return GTMOutgoing(self, src, dst, route=rails[pick],
+                                   eager_threshold=eager)
+        return GTMOutgoing(self, src, dst, eager_threshold=eager)
+
+    def _balanced_pick(self, rails, rr_pick: int) -> int:
+        """Occupancy-driven rail choice across parallel gateways.
+
+        The load signal is the first-hop forwarding worker's staged-item
+        count; ties fall back to round-robin order (distance from the
+        round-robin pick), so an idle system behaves exactly like plain
+        round-robin.
+        """
+        def load(route) -> int:
+            hop0 = route[0]
+            fwd_id = f"{hop0.channel.id}!fwd"
+            return sum(w.staged_items for w in self.workers
+                       if w.gw_rank == hop0.dst
+                       and w.in_channel.id == fwd_id and not w.retired)
+
+        loads = [load(r) for r in rails]
+        best = min(range(len(rails)),
+                   key=lambda k: (loads[k], (k - rr_pick) % len(rails)))
+        if best != rr_pick:
+            self._m_balance_moves.inc()
+        return best
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<VirtualChannel {self.name} members={self.members} "

@@ -24,12 +24,15 @@ from dataclasses import dataclass
 from .flags import RecvMode, SendMode
 
 __all__ = [
-    "Announce", "Descriptor", "StripeRecord",
+    "Announce", "Descriptor", "StripeRecord", "EagerEntry", "EagerRecord",
     "MODE_REGULAR", "MODE_GTM",
     "ANNOUNCE_BYTES", "DESC_BYTES", "STRIPE_BYTES", "STRIPE_VERSION",
+    "EAGER_HDR_BYTES", "EAGER_ENTRY_BYTES", "EAGER_VERSION",
     "encode_announce", "decode_announce",
     "encode_descriptor", "decode_descriptor",
     "encode_stripe", "decode_stripe",
+    "encode_eager", "decode_eager", "eager_record_bytes",
+    "encode_eager_table",
 ]
 
 #: announce modes
@@ -64,7 +67,14 @@ _MODE_BATCHED_BIT = 0x80
 #: rail belongs to; gateways forward the bit (and the record) untouched.
 _MODE_STRIPED_BIT = 0x40
 
-_MODE_FLAG_BITS = _MODE_BATCHED_BIT | _MODE_STRIPED_BIT
+#: third-highest bit of the mode byte: this message travels **eager** — the
+#: whole body (descriptors and payloads) is folded into one
+#: :class:`EagerRecord` wire item instead of the per-buffer
+#: descriptor/fragment/terminator stream.  Gateways forward the bit (and the
+#: record) untouched; only the final receiver parses it.
+_MODE_EAGER_BIT = 0x20
+
+_MODE_FLAG_BITS = _MODE_BATCHED_BIT | _MODE_STRIPED_BIT | _MODE_EAGER_BIT
 
 #: wire field ceilings (exceeding one would silently wrap in struct.pack)
 _MAX_RANK = 0xFFFF            # origin / final_dst pack as H
@@ -86,12 +96,15 @@ class Announce:
     hops_left: int = 0         # remaining forwarding hops after this one
     batched: bool = False      # GTM header batching negotiated for the message
     striped: bool = False      # this message is one stripe of a multirail group
+    eager: bool = False        # body travels as one EagerRecord wire item
 
     def __post_init__(self) -> None:
         if self.mode not in (MODE_REGULAR, MODE_GTM):
             raise ValueError(f"bad announce mode {self.mode}")
         if self.mtu % _MTU_UNIT:
             raise ValueError(f"MTU must be a multiple of {_MTU_UNIT}: {self.mtu}")
+        if self.eager and (self.batched or self.striped):
+            raise ValueError("eager announces exclude batching and striping")
 
 
 @dataclass(frozen=True)
@@ -132,7 +145,8 @@ def encode_announce(a: Announce) -> bytes:
     _check_range("msg_id", a.msg_id, _MAX_MSG_ID)
     _check_range("hops_left", a.hops_left, _MAX_HOPS)
     mode = (a.mode | (_MODE_BATCHED_BIT if a.batched else 0)
-            | (_MODE_STRIPED_BIT if a.striped else 0))
+            | (_MODE_STRIPED_BIT if a.striped else 0)
+            | (_MODE_EAGER_BIT if a.eager else 0))
     return struct.pack(_ANNOUNCE_FMT, mode, a.origin, a.final_dst,
                        a.mtu // _MTU_UNIT, a.msg_id, a.hops_left)
 
@@ -150,7 +164,8 @@ def decode_announce(raw: bytes) -> Announce:
                     final_dst=final_dst, mtu=mtu_kb * _MTU_UNIT,
                     msg_id=msg_id, hops_left=hops_left,
                     batched=bool(mode & _MODE_BATCHED_BIT),
-                    striped=bool(mode & _MODE_STRIPED_BIT))
+                    striped=bool(mode & _MODE_STRIPED_BIT),
+                    eager=bool(mode & _MODE_EAGER_BIT))
 
 
 def encode_descriptor(d: Descriptor) -> bytes:
@@ -231,3 +246,125 @@ def decode_stripe(raw: bytes) -> StripeRecord:
             f"(this build speaks version {STRIPE_VERSION})")
     return StripeRecord(stripe_id=stripe_id, seq=seq, total=total,
                         version=version)
+
+
+_EAGER_HDR_FMT = "<BxH"            # version, entry count
+_EAGER_ENTRY_FMT = "<IBBxx"        # payload length, send mode, recv mode
+
+EAGER_HDR_BYTES = struct.calcsize(_EAGER_HDR_FMT)       # 4
+EAGER_ENTRY_BYTES = struct.calcsize(_EAGER_ENTRY_FMT)   # 8
+
+#: wire version of the eager record — bumped if the layout ever changes,
+#: so a mixed-version session fails loudly instead of misdelivering.
+EAGER_VERSION = 1
+
+_MAX_EAGER_ENTRIES = 0xFFFF   # entry count packs as H
+
+
+@dataclass(frozen=True)
+class EagerEntry:
+    """One packed buffer of an eager message: payload plus its emission and
+    reception constraints (the same triple a :class:`Descriptor` carries)."""
+
+    data: bytes
+    smode: SendMode = SendMode.CHEAPER
+    rmode: RecvMode = RecvMode.CHEAPER
+
+
+@dataclass(frozen=True)
+class EagerRecord:
+    """The whole body of an eager message as a single wire item (§2.3
+    adapted): per-buffer descriptor entries and their payloads travel
+    together, replacing the descriptor/fragment/terminator stream.
+
+    Sent only when the announce carries the eager mode bit; gateways
+    forward the record like any other item (one store-and-forward instead
+    of three or more), and only the final receiver parses it.
+    """
+
+    entries: tuple[EagerEntry, ...] = ()
+    version: int = EAGER_VERSION
+
+    @property
+    def total_payload(self) -> int:
+        return sum(len(e.data) for e in self.entries)
+
+
+def eager_record_bytes(lengths) -> int:
+    """Wire size of an eager record carrying buffers of ``lengths`` bytes."""
+    lengths = list(lengths)
+    return (EAGER_HDR_BYTES + EAGER_ENTRY_BYTES * len(lengths)
+            + sum(lengths))
+
+
+def encode_eager_table(triples, version: int = EAGER_VERSION) -> bytes:
+    """Encode just the control part of an eager record (header plus entry
+    table) from ``(length, smode, rmode)`` triples; the payloads follow it
+    on the wire.  Raises :class:`ValueError` on any value that would
+    silently wrap in its fixed-width wire field."""
+    triples = list(triples)
+    if not 0 <= version <= 0xFF:
+        raise ValueError(
+            f"eager version={version} does not fit the wire field "
+            f"(0..255); refusing to emit a corrupt record")
+    if len(triples) > _MAX_EAGER_ENTRIES:
+        raise ValueError(
+            f"eager record with {len(triples)} entries does not fit "
+            f"the wire field (0..{_MAX_EAGER_ENTRIES}); refusing to emit "
+            f"a corrupt record")
+    parts = [struct.pack(_EAGER_HDR_FMT, version, len(triples))]
+    for length, smode, rmode in triples:
+        if not 0 <= length <= _MAX_DESC_LEN:
+            raise ValueError(
+                f"eager entry of {length}B does not fit the wire "
+                f"field (0..{_MAX_DESC_LEN}); refusing to emit a corrupt "
+                f"record")
+        parts.append(struct.pack(_EAGER_ENTRY_FMT, length,
+                                 int(smode), int(rmode)))
+    return b"".join(parts)
+
+
+def encode_eager(rec: EagerRecord) -> bytes:
+    """Encode a full eager record (entry table and payloads)."""
+    table = encode_eager_table(
+        ((len(e.data), e.smode, e.rmode) for e in rec.entries),
+        version=rec.version)
+    return table + b"".join(bytes(e.data) for e in rec.entries)
+
+
+def decode_eager(raw: bytes) -> EagerRecord:
+    """Decode an eager record; ``raw`` must be exactly the record (entry
+    table and concatenated payloads) and carry a known version."""
+    raw = bytes(raw)
+    if len(raw) < EAGER_HDR_BYTES:
+        raise ValueError(
+            f"eager record needs at least {EAGER_HDR_BYTES} bytes, "
+            f"got {len(raw)}")
+    version, count = struct.unpack_from(_EAGER_HDR_FMT, raw, 0)
+    if version != EAGER_VERSION:
+        raise ValueError(
+            f"unknown eager-record version {version} "
+            f"(this build speaks version {EAGER_VERSION})")
+    table_end = EAGER_HDR_BYTES + EAGER_ENTRY_BYTES * count
+    if len(raw) < table_end:
+        raise ValueError(
+            f"eager record truncated: {count} entries need "
+            f"{table_end} header bytes, got {len(raw)}")
+    triples = []
+    total = 0
+    for i in range(count):
+        length, smode, rmode = struct.unpack_from(
+            _EAGER_ENTRY_FMT, raw, EAGER_HDR_BYTES + i * EAGER_ENTRY_BYTES)
+        triples.append((length, SendMode(smode), RecvMode(rmode)))
+        total += length
+    if len(raw) != table_end + total:
+        raise ValueError(
+            f"eager record announces {total}B of payload but carries "
+            f"{len(raw) - table_end}B")
+    entries = []
+    off = table_end
+    for length, smode, rmode in triples:
+        entries.append(EagerEntry(data=raw[off:off + length],
+                                  smode=smode, rmode=rmode))
+        off += length
+    return EagerRecord(entries=tuple(entries), version=version)

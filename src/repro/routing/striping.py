@@ -118,10 +118,32 @@ class StripeScheduler:
         self.policy = policy
         self.rates = [route_rate(r, rate_overrides) for r in self.rails]
         self._backlog = [0] * len(self.rails)
+        #: adaptive re-striping: per-rail multiplier on the calibrated rate.
+        #: All-1.0 (the default) leaves every plan bit-identical to the
+        #: unweighted scheduler; 0.0 suspends a rail — it only carries
+        #: zero-length lockstep stripes until readmitted.
+        self.weights = [1.0] * len(self.rails)
 
     @property
     def backlog(self) -> tuple[int, ...]:
         return tuple(self._backlog)
+
+    def set_weight(self, rail: int, weight: float) -> None:
+        if weight < 0.0:
+            raise ValueError(f"rail weight must be >= 0, got {weight}")
+        self.weights[rail] = weight
+
+    def _rate(self, i: int) -> float:
+        w = self.weights[i]
+        # Weight 0 only reaches here through the all-suspended fallback,
+        # where the uniform zero cancels: use the raw calibrated rate.
+        return self.rates[i] * w if w > 0.0 else self.rates[i]
+
+    def _live(self) -> list[int]:
+        live = [i for i in range(len(self.rails)) if self.weights[i] > 0.0]
+        # All rails suspended is a policy mistake, not a schedule: fall
+        # back to the full set rather than dividing by zero.
+        return live or list(range(len(self.rails)))
 
     def note_sent(self, rail: int, nbytes: int) -> None:
         """A stripe of ``nbytes`` was handed to ``rail``."""
@@ -132,11 +154,10 @@ class StripeScheduler:
         self._backlog[rail] -= nbytes
 
     def _drain_time(self, i: int) -> float:
-        return self._backlog[i] / self.rates[i]
+        return self._backlog[i] / self._rate(i)
 
     def _least_loaded(self) -> int:
-        return min(range(len(self.rails)),
-                   key=lambda i: (self._drain_time(i), i))
+        return min(self._live(), key=lambda i: (self._drain_time(i), i))
 
     def plan(self, length: int) -> list[int]:
         """Stripe sizes per rail for one ``length``-byte paquet.
@@ -147,7 +168,8 @@ class StripeScheduler:
         """
         n = len(self.rails)
         chunks = [0] * n
-        if n == 1 or length < 2 * self.policy.min_stripe:
+        live = self._live()
+        if len(live) == 1 or length < 2 * self.policy.min_stripe:
             # Too small to split: the whole paquet goes to the rail
             # predicted to drain first.
             chunks[self._least_loaded()] = length
@@ -155,18 +177,18 @@ class StripeScheduler:
         # Water-fill: rails sorted by drain time; drop (from the most
         # loaded end) any rail whose existing backlog already exceeds the
         # common finish horizon of the remaining set.
-        active = sorted(range(n), key=lambda i: (self._drain_time(i), i))
+        active = sorted(live, key=lambda i: (self._drain_time(i), i))
         while len(active) > 1:
             horizon = ((length + sum(self._backlog[i] for i in active))
-                       / sum(self.rates[i] for i in active))
+                       / sum(self._rate(i) for i in active))
             worst = active[-1]
-            if self._backlog[worst] > self.rates[worst] * horizon:
+            if self._backlog[worst] > self._rate(worst) * horizon:
                 active.pop()
             else:
                 break
         horizon = ((length + sum(self._backlog[i] for i in active))
-                   / sum(self.rates[i] for i in active))
-        shares = {i: self.rates[i] * horizon - self._backlog[i]
+                   / sum(self._rate(i) for i in active))
+        shares = {i: self._rate(i) * horizon - self._backlog[i]
                   for i in active}
         total = sum(shares.values())
         align = self.policy.align

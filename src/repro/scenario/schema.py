@@ -347,6 +347,10 @@ class Scenario:
     pipeline: Optional[Tuple[int, int, bool]] = None
     #: (max_rails, min_stripe) striping policy; None = no striping.
     stripe: Optional[Tuple[int, int]] = None
+    #: (eager_threshold, restripe_high, restripe_low, gateway_balance)
+    #: adaptive transport policy (docs/adaptive.md); None = static wire
+    #: decisions, bit-identical to pre-adaptive runs.
+    adaptive: Optional[Tuple[int, float, float, bool]] = None
     messages: Tuple[MessageSpec, ...] = ()
     #: generated traffic on top of (or instead of) the explicit messages.
     traffic: Optional[TrafficSpec] = None
@@ -412,6 +416,14 @@ class Scenario:
         if self.stripe is not None and not topo.has_parallel_routes:
             problems.append("striping requires a topology with parallel "
                             "routes")
+        if self.adaptive is not None:
+            eager, high, low, _balance = self.adaptive
+            if eager < 0:
+                problems.append(f"adaptive eager threshold must be >= 0, "
+                                f"got {eager}")
+            if low < 1.0 or high <= low:
+                problems.append(f"adaptive re-stripe hysteresis needs "
+                                f"high > low >= 1, got ({high}, {low})")
         if self.multirail and not topo.has_parallel_routes:
             problems.append("multirail dispatch requires parallel routes")
         if problems:
@@ -444,6 +456,7 @@ class Scenario:
             "multirail": self.multirail,
             "pipeline": list(self.pipeline) if self.pipeline else None,
             "stripe": list(self.stripe) if self.stripe else None,
+            "adaptive": list(self.adaptive) if self.adaptive else None,
             "messages": [{"src": m.src, "dst": m.dst, "nbytes": m.nbytes,
                           "kind": m.kind} for m in self.messages],
             "traffic": self.traffic.to_dict() if self.traffic else None,
@@ -461,6 +474,7 @@ class Scenario:
             raise ValueError(f"unsupported scenario version {version}")
         pipeline = d.get("pipeline")
         stripe = d.get("stripe")
+        adaptive = d.get("adaptive")
         traffic = d.get("traffic")
         bucket_width = d.get("bucket_width")
         return cls(
@@ -474,6 +488,10 @@ class Scenario:
                                                     bool(pipeline[2])),
             stripe=None if stripe is None else (int(stripe[0]),
                                                 int(stripe[1])),
+            adaptive=None if adaptive is None else (int(adaptive[0]),
+                                                    float(adaptive[1]),
+                                                    float(adaptive[2]),
+                                                    bool(adaptive[3])),
             messages=tuple(MessageSpec(**m) for m in d.get("messages", ())),
             traffic=None if traffic is None else TrafficSpec.from_dict(
                 traffic),
@@ -497,6 +515,9 @@ class Scenario:
                          + ("L" if self.pipeline[2] else ""))
         if self.stripe:
             knobs.append(f"stripe<={self.stripe[0]}")
+        if self.adaptive:
+            knobs.append(f"adapt(e={self.adaptive[0]}"
+                         + (",gb" if self.adaptive[3] else "") + ")")
         if self.multirail:
             knobs.append("multirail")
         if self.header_batching:

@@ -164,13 +164,83 @@ def _cell(name: str, des: float, solver: float) -> dict:
             "rel_err": _rel(solver, des)}
 
 
-def run_validate(progress: Optional[Callable[[str], None]] = None) -> dict:
+def _des_specs() -> list[tuple]:
+    """The flat DES work list: ``(key, kind, *args)`` per measured cell,
+    in the order the families consume them."""
+    specs: list[tuple] = [("fig5", "ping", 64 << 10, _MESSAGE, "b0->a0")]
+    for name, cells_spec, direction in (("fig6", _FIG6_CELLS, "b0->a0"),
+                                        ("fig7", _FIG7_CELLS, "a0->b0")):
+        for packet, frags in cells_spec:
+            specs.append((f"{name}:{packet}:{frags}", "ping", packet,
+                          packet * frags, direction))
+    for direction in ("myri->sci", "sci->myri"):
+        specs.append((f"fig8:{direction}", "pipe", direction, 64 << 10))
+    for rails, packet in _MULTIRAIL_CELLS:
+        specs.append((f"multirail:{rails}:{packet}", "rail", rails, packet,
+                      _MESSAGE))
+    for kind, flows in _TRAFFIC_CELLS:
+        specs.append((f"traffic:{kind}:{flows}", "traffic", kind, flows))
+    return specs
+
+
+def _des_cell(spec: tuple) -> tuple:
+    """Module-level (picklable) pool worker: one DES cell.
+
+    Returns ``(key, value, wall_seconds)``.  The wall clock is measured
+    inside the worker, so a pooled run reports the same cumulative DES
+    cost a serial run does and the committed speedup figure stays the sum
+    of identical per-cell measurements.  Every cell builds its own
+    pristine deterministic world, so the values match a serial run
+    exactly.
+    """
+    key, kind = spec[0], spec[1]
+    t0 = time.perf_counter()
+    if kind == "ping":
+        _key, _kind, packet, message, direction = spec
+        value = _des_ping(packet, message, direction)
+    elif kind == "pipe":
+        _key, _kind, direction, packet = spec
+        stats = _des_pipeline_stats(direction, packet)
+        value = (stats.send_recv_ratio, stats.mean_period_us)
+    elif kind == "rail":
+        _key, _kind, rails, packet, message = spec
+        value = _des_multirail(rails, packet, message)
+    else:   # traffic
+        from ..bench.scale import run_traffic_scenario
+        _key, _kind, tkind, flows = spec
+        value = run_traffic_scenario(traffic_scenario(tkind, flows))
+    return key, value, time.perf_counter() - t0
+
+
+def run_validate(progress: Optional[Callable[[str], None]] = None,
+                 jobs: Optional[int] = None) -> dict:
     """Run every family; returns the full comparison result.
 
     Each cell runs the DES measurement and the solver estimate and records
     the relative error; DES and solver wall-clock are accumulated
-    separately so the result carries the measured speedup.
+    separately so the result carries the measured speedup.  ``jobs > 1``
+    spreads the DES cells (which carry essentially all of the wall clock)
+    over a ``multiprocessing`` pool; the solver side stays serial in the
+    parent.  The numbers are identical either way — only elapsed time
+    changes, and the speedup accounting uses per-cell wall clock measured
+    inside the workers.
     """
+    specs = _des_specs()
+    des_results: dict[str, tuple] = {}
+    if jobs and jobs > 1:
+        import multiprocessing as mp
+        with mp.Pool(min(jobs, len(specs))) as pool:
+            for key, value, wall in pool.imap_unordered(_des_cell, specs):
+                des_results[key] = (value, wall)
+                if progress:
+                    progress(f"des {key}")
+    else:
+        for spec in specs:
+            key, value, wall = _des_cell(spec)
+            des_results[key] = (value, wall)
+            if progress:
+                progress(f"des {key}")
+
     timer = {"des": 0.0, "solver": 0.0,
              "strict_des": 0.0, "strict_solver": 0.0}
     scope = {"strict": True}
@@ -184,6 +254,13 @@ def run_validate(progress: Optional[Callable[[str], None]] = None) -> dict:
             timer[f"strict_{side}"] += dt
         return out
 
+    def des_of(key: str):
+        value, wall = des_results.pop(key)
+        timer["des"] += wall
+        if scope["strict"]:
+            timer["strict_des"] += wall
+        return value
+
     families: dict[str, dict] = {}
 
     def family(name: str, cells: list[dict], strict: bool) -> None:
@@ -194,9 +271,7 @@ def run_validate(progress: Optional[Callable[[str], None]] = None) -> dict:
         }
 
     # fig5: the paper's balanced configuration, one cell.
-    if progress:
-        progress("fig5")
-    des = timed("des", _des_ping, 64 << 10, _MESSAGE, "b0->a0")
+    des = des_of("fig5")
     sol = timed("solver", solve_bandwidth,
                 ping_scenario(64 << 10, _MESSAGE, "b0->a0"))
     family("fig5", [_cell("64k_2m_b0_to_a0", des, sol)], strict=True)
@@ -204,12 +279,10 @@ def run_validate(progress: Optional[Callable[[str], None]] = None) -> dict:
     # fig6/fig7: bandwidth grids, sampled at >= 32 fragments per message.
     for name, cells_spec, direction in (("fig6", _FIG6_CELLS, "b0->a0"),
                                         ("fig7", _FIG7_CELLS, "a0->b0")):
-        if progress:
-            progress(name)
         cells = []
         for packet, frags in cells_spec:
             message = packet * frags
-            des = timed("des", _des_ping, packet, message, direction)
+            des = des_of(f"{name}:{packet}:{frags}")
             sol = timed("solver", solve_bandwidth,
                         ping_scenario(packet, message, direction))
             cells.append(_cell(f"{packet >> 10}k_x{frags}", des, sol))
@@ -217,30 +290,26 @@ def run_validate(progress: Optional[Callable[[str], None]] = None) -> dict:
 
     # fig8: pipeline shape — send/recv ratio and steady period, both
     # directions, solver side straight from the _rail_period kernel.
-    if progress:
-        progress("fig8")
     cells = []
     pipe = DEFAULT_GATEWAY.resolved_pipeline
     for direction, p_in, p_out in (
             ("myri->sci", PROTOCOLS["myrinet"], PROTOCOLS["sci"]),
             ("sci->myri", PROTOCOLS["sci"], PROTOCOLS["myrinet"])):
-        stats = timed("des", _des_pipeline_stats, direction, 64 << 10)
+        send_recv_ratio, mean_period_us = des_of(f"fig8:{direction}")
         t_recv, t_send, period = _rail_period(p_in, p_out, 64 << 10,
                                               DEFAULT_GATEWAY, DEFAULT_NODE,
                                               pipe)
         tag = direction.replace("->", "_to_")
         cells.append(_cell(f"{tag}_send_recv_ratio",
-                           stats.send_recv_ratio, t_send / t_recv))
+                           send_recv_ratio, t_send / t_recv))
         cells.append(_cell(f"{tag}_period_us",
-                           stats.mean_period_us, period))
+                           mean_period_us, period))
     family("fig8", cells, strict=True)
 
     # multirail: striped bandwidth grid (rails=1 rides the chain).
-    if progress:
-        progress("multirail")
     cells = []
     for rails, packet in _MULTIRAIL_CELLS:
-        des = timed("des", _des_multirail, rails, packet, _MESSAGE)
+        des = des_of(f"multirail:{rails}:{packet}")
         sol = timed("solver", solve_bandwidth,
                     multirail_scenario(packet, _MESSAGE, rails))
         cells.append(_cell(f"rails{rails}_{packet >> 10}k", des, sol))
@@ -250,13 +319,10 @@ def run_validate(progress: Optional[Callable[[str], None]] = None) -> dict:
     # flow-level metrics per cell.  (Outside the strict wall-clock budget:
     # the committed >= 100x speedup is the fig/multirail grids' figure.)
     scope["strict"] = False
-    if progress:
-        progress("traffic")
-    from ..bench.scale import run_traffic_scenario
     cells = []
     for kind, flows in _TRAFFIC_CELLS:
         sc = traffic_scenario(kind, flows)
-        des_row = timed("des", run_traffic_scenario, sc)
+        des_row = des_of(f"traffic:{kind}:{flows}")
         sol_row = timed("solver", lambda s: solve(s).summary(), sc)
         worst = max(_rel(sol_row[k], des_row[k])
                     for k in ("goodput_mbs", "mean_fct_us", "p99_fct_us",

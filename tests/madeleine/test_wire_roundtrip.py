@@ -1,34 +1,44 @@
 """Property-based round-trip tests for the wire codec (§2.3 records).
 
 Every encodable record decodes back to itself — including the announce
-mode-byte flag bits (batched 0x80, striped 0x40) — and malformed buffers
-raise :class:`ValueError` instead of decoding to garbage.
+mode-byte flag bits (batched 0x80, striped 0x40, eager 0x20) and the
+eager record's entry table — and malformed buffers raise
+:class:`ValueError` instead of decoding to garbage.
 """
 
 from hypothesis import given, settings, strategies as st
 
 from repro.madeleine.flags import RecvMode, SendMode
-from repro.madeleine.wire import (ANNOUNCE_BYTES, DESC_BYTES, MODE_GTM,
+from repro.madeleine.wire import (ANNOUNCE_BYTES, DESC_BYTES,
+                                  EAGER_ENTRY_BYTES, EAGER_HDR_BYTES,
+                                  EAGER_VERSION, MODE_GTM,
                                   MODE_REGULAR, STRIPE_BYTES, STRIPE_VERSION,
-                                  Announce, Descriptor, StripeRecord,
+                                  Announce, Descriptor, EagerEntry,
+                                  EagerRecord, StripeRecord,
                                   decode_announce, decode_descriptor,
-                                  decode_stripe, encode_announce,
-                                  encode_descriptor, encode_stripe)
+                                  decode_eager, decode_stripe,
+                                  eager_record_bytes, encode_announce,
+                                  encode_descriptor, encode_eager,
+                                  encode_eager_table, encode_stripe)
 
 _SETTINGS = dict(max_examples=200, deadline=None)
 
 
-def announces():
-    return st.builds(
-        Announce,
-        mode=st.sampled_from([MODE_REGULAR, MODE_GTM]),
-        origin=st.integers(0, 0xFFFF),
-        final_dst=st.integers(0, 0xFFFF),
-        mtu=st.integers(1, 0xFFFF).map(lambda kb: kb * 1024),
-        msg_id=st.integers(0, 0xFFFF_FFFF),
-        hops_left=st.integers(0, 0xFF),
-        batched=st.booleans(),
-        striped=st.booleans(),
+@st.composite
+def announces(draw):
+    # An eager announce excludes batching and striping (the record replaces
+    # the whole descriptor stream), so the flags are drawn dependently.
+    eager = draw(st.booleans())
+    return Announce(
+        mode=draw(st.sampled_from([MODE_REGULAR, MODE_GTM])),
+        origin=draw(st.integers(0, 0xFFFF)),
+        final_dst=draw(st.integers(0, 0xFFFF)),
+        mtu=draw(st.integers(1, 0xFFFF).map(lambda kb: kb * 1024)),
+        msg_id=draw(st.integers(0, 0xFFFF_FFFF)),
+        hops_left=draw(st.integers(0, 0xFF)),
+        batched=False if eager else draw(st.booleans()),
+        striped=False if eager else draw(st.booleans()),
+        eager=eager,
     )
 
 
@@ -88,13 +98,74 @@ def test_stripe_roundtrip(s):
 @given(a=announces())
 @settings(**_SETTINGS)
 def test_announce_flag_bits_on_the_wire(a):
-    """The batched/striped flags ride the mode byte (0x80 / 0x40) and never
-    leak into the decoded base mode."""
+    """The batched/striped/eager flags ride the mode byte (0x80 / 0x40 /
+    0x20) and never leak into the decoded base mode."""
     raw = encode_announce(a)
     mode_byte = raw[0]
     assert bool(mode_byte & 0x80) == a.batched
     assert bool(mode_byte & 0x40) == a.striped
-    assert mode_byte & ~0xC0 == a.mode
+    assert bool(mode_byte & 0x20) == a.eager
+    assert mode_byte & ~0xE0 == a.mode
+
+
+def eager_entries():
+    return st.builds(
+        EagerEntry,
+        data=st.binary(min_size=0, max_size=200),
+        smode=st.sampled_from(list(SendMode)),
+        rmode=st.sampled_from(list(RecvMode)),
+    )
+
+
+def eager_records():
+    return st.builds(
+        EagerRecord,
+        entries=st.lists(eager_entries(), min_size=0, max_size=8).map(tuple),
+    )
+
+
+@given(rec=eager_records())
+@settings(**_SETTINGS)
+def test_eager_roundtrip(rec):
+    raw = encode_eager(rec)
+    assert len(raw) == eager_record_bytes(len(e.data) for e in rec.entries)
+    got = decode_eager(raw)
+    assert got == rec
+    assert got.version == EAGER_VERSION
+    assert got.total_payload == rec.total_payload
+
+
+@given(rec=eager_records())
+@settings(**_SETTINGS)
+def test_eager_table_plus_payloads_is_the_full_record(rec):
+    """The sender-side split (control table emitted first, payloads
+    appended) concatenates to exactly what ``encode_eager`` produces."""
+    table = encode_eager_table((len(e.data), e.smode, e.rmode)
+                               for e in rec.entries)
+    assert len(table) == EAGER_HDR_BYTES + EAGER_ENTRY_BYTES * len(rec.entries)
+    payloads = b"".join(e.data for e in rec.entries)
+    assert table + payloads == encode_eager(rec)
+
+
+@given(rec=eager_records(), cut=st.integers(1, 16))
+@settings(**_SETTINGS)
+def test_eager_truncation_raises(rec, cut):
+    raw = encode_eager(rec)
+    try:
+        decode_eager(raw[:max(0, len(raw) - cut)])
+    except ValueError:
+        return
+    raise AssertionError("decode_eager accepted a truncated record")
+
+
+@given(rec=eager_records())
+@settings(**_SETTINGS)
+def test_eager_unknown_version_raises(rec):
+    raw = bytearray(encode_eager(rec))
+    raw[0] = EAGER_VERSION + 1
+    import pytest
+    with pytest.raises(ValueError, match="version"):
+        decode_eager(bytes(raw))
 
 
 @given(raw=st.binary(min_size=0, max_size=64))
@@ -144,3 +215,14 @@ def test_out_of_range_fields_refuse_to_encode():
         StripeRecord(stripe_id=0, seq=2, total=2)
     with pytest.raises(ValueError):
         StripeRecord(stripe_id=0, seq=0, total=0)
+    # eager: flag exclusivity and wire-field ceilings
+    with pytest.raises(ValueError):
+        Announce(mode=MODE_GTM, origin=0, final_dst=0, mtu=1024, msg_id=0,
+                 eager=True, batched=True)
+    with pytest.raises(ValueError):
+        Announce(mode=MODE_GTM, origin=0, final_dst=0, mtu=1024, msg_id=0,
+                 eager=True, striped=True)
+    with pytest.raises(ValueError):
+        encode_eager_table([(1 << 32, SendMode.CHEAPER, RecvMode.CHEAPER)])
+    with pytest.raises(ValueError):
+        encode_eager_table([], version=256)
